@@ -1,0 +1,146 @@
+// Command attacksim runs Rowhammer attack patterns against a chosen
+// mitigation and reports the security outcome: the peak sliding-window
+// activation count of any physical row versus the Rowhammer threshold, and
+// whether any row crossed it.
+//
+// Usage:
+//
+//	attacksim -attack double-sided -scheme baseline       # succeeds (flips)
+//	attacksim -attack double-sided -scheme aqua-memmapped # defeated
+//	attacksim -attack half-double  -scheme victim-refresh # Half-Double wins
+//	attacksim -attack dos          -scheme aqua-sram      # bounded slowdown
+//	attacksim -attack adaptive     -scheme rrs
+//
+// Attacks: single-sided, double-sided, many-sided, half-double, adaptive,
+// dos, table-hammer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/flipmodel"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/rrs"
+	"repro/internal/security"
+	"repro/internal/sim"
+	"repro/internal/vrefresh"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("attacksim: ")
+
+	attackName := flag.String("attack", "double-sided", "attack pattern")
+	schemeName := flag.String("scheme", "aqua-memmapped", "mitigation scheme")
+	trh := flag.Int64("trh", 1000, "Rowhammer threshold T_RH")
+	acts := flag.Int64("acts", 0, "aggressor activations (default 4*T_RH)")
+	flag.Parse()
+
+	if *acts == 0 {
+		*acts = 4 * *trh
+	}
+
+	geom := repro.BaselineGeometry()
+	rank := repro.NewRank(geom, repro.DDR4Timing())
+	// The charge model flips at 2*T_RH combined disturbance: T_RH is
+	// defined per aggressor row (Section VI), and a double-sided victim
+	// receives two rows' contributions.
+	fm := flipmodel.New(geom, 2**trh, rank.Timing().TREFW)
+	fm.Attach(rank)
+	mon := security.NewMonitor(int(*trh), rank.Timing().TREFW)
+	mon.Attach(rank)
+
+	var mit mitigation.Mitigator
+	var aqua *core.Engine
+	switch *schemeName {
+	case "baseline":
+		mit = mitigation.None{}
+	case "aqua-sram":
+		aqua = core.New(rank, core.Config{TRH: *trh, Mode: core.ModeSRAM})
+		mit = aqua
+	case "aqua-memmapped":
+		aqua = core.New(rank, core.Config{TRH: *trh, Mode: core.ModeMemMapped})
+		mit = aqua
+	case "rrs":
+		mit = rrs.New(rank, rrs.Config{TRH: *trh})
+	case "victim-refresh":
+		mit = vrefresh.New(rank, vrefresh.Config{
+			TRH:       *trh,
+			OnRefresh: func(r dram.Row, at dram.PS) { fm.RowOpened(r, at) },
+		})
+	case "blockhammer":
+		mit = repro.NewBlockhammer(rank, repro.BlockhammerConfig{TRH: *trh})
+	default:
+		log.Fatalf("unknown scheme %q", *schemeName)
+	}
+
+	region := sim.VisibleRegion(sim.Config{})
+	victim := geom.RowOf(3, 5000)
+	var stream cpu.Stream
+	switch *attackName {
+	case "single-sided":
+		stream = attack.SingleSided(geom, geom.RowOf(0, 777), region.VisibleRowsPerBank, *acts)
+	case "double-sided":
+		stream = attack.DoubleSided(geom, victim, *acts)
+	case "many-sided":
+		stream = attack.ManySided(geom, victim, 4, *acts)
+	case "half-double":
+		stream = attack.HalfDouble(geom, victim, *acts**trh/500)
+	case "adaptive":
+		stream = attack.AdaptiveHammer(geom, geom.RowOf(0, 42), region.VisibleRowsPerBank, *acts)
+	case "dos":
+		stream = attack.NewRotatingDoS(geom, region.VisibleRowsPerBank, *trh/2, 16**acts)
+	case "table-hammer":
+		if aqua == nil {
+			log.Fatal("table-hammer targets AQUA's memory-mapped tables; use -scheme aqua-memmapped")
+		}
+		setup := []dram.Row{geom.RowOf(0, 0), geom.RowOf(0, 1), geom.RowOf(0, 16), geom.RowOf(0, 17)}
+		var sweep []dram.Row
+		for i := 2; i < 16; i++ {
+			sweep = append(sweep, geom.RowOf(0, i))
+		}
+		stream = attack.TableHammer(geom, aqua.VisibleRowsPerBank(), setup, sweep, *trh/2, *acts/8)
+	default:
+		log.Fatalf("unknown attack %q", *attackName)
+	}
+
+	ctrl := memctrl.New(rank, mit, memctrl.Config{})
+	c := cpu.New(0, stream, cpu.Config{MLP: 1})
+	for {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			break
+		}
+		c.Issue(at, ctrl.Submit)
+	}
+
+	fmt.Printf("attack          %s vs %s (T_RH=%d)\n", *attackName, mit.Name(), *trh)
+	fmt.Printf("attack time     %.2f ms simulated\n", float64(c.FinishTime())/1e9)
+	fmt.Printf("total ACTs      %d\n", mon.TotalACTs())
+	row, peak := mon.MaxWindowCount()
+	fmt.Printf("peak row ACTs   %d (row %d) in any 64ms window\n", peak, row)
+	st := mit.Stats()
+	fmt.Printf("mitigations     %d (migrations %d, victim refreshes %d)\n",
+		st.Mitigations, st.RowMigrations, st.VictimRefreshes)
+	if fm.Flipped() {
+		f := fm.Flips()[0]
+		fmt.Printf("BIT FLIPS       %d (first: row %d, disturbance %d)\n",
+			len(fm.Flips()), f.Victim, f.Disturbance)
+	} else {
+		fmt.Printf("bit flips       none (charge model)\n")
+	}
+	if mon.Violated() {
+		v := mon.Violations()[0]
+		fmt.Printf("VIOLATED        row %d reached %d ACTs >= T_RH\n", v.Row, v.Count)
+	} else {
+		fmt.Printf("invariant held  no physical row reached T_RH activations\n")
+	}
+}

@@ -1,0 +1,114 @@
+// Command figures regenerates the tables and figures of the AQUA paper's
+// evaluation as text.
+//
+// Usage:
+//
+//	figures -all                     # everything (default)
+//	figures -figure 7                # one figure (2,3,6,7,9,10,11,12)
+//	figures -table 3                 # one table (2..7)
+//	figures -workloads spec          # 18 SPEC workloads only (default all 34)
+//	figures -window 16               # simulated window in ms (default 64)
+//
+// Simulation-backed outputs share one result cache, so -all simulates each
+// (workload, scheme, threshold) cell exactly once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/dram"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	figure := flag.Int("figure", 0, "regenerate one figure (2,3,6,7,9,10,11,12)")
+	table := flag.Int("table", 0, "regenerate one table (2..7)")
+	section := flag.String("section", "", `regenerate one section ("5f" sensitivity, "5h" power)`)
+	all := flag.Bool("all", false, "regenerate everything")
+	workloads := flag.String("workloads", "all", `workload set: "all" (34) or "spec" (18)`)
+	windowMS := flag.Int("window", 64, "simulated window per run in ms")
+	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	flag.Parse()
+
+	if *figure == 0 && *table == 0 && *section == "" {
+		*all = true
+	}
+
+	opts := repro.LabOptions{
+		Window: dram.PS(*windowMS) * dram.Millisecond,
+		Seed:   *seed,
+	}
+	switch *workloads {
+	case "all":
+		opts.Workloads = repro.AllWorkloads()
+	case "spec":
+		opts.Workloads = repro.SPECWorkloads()
+	default:
+		log.Fatalf("unknown workload set %q", *workloads)
+	}
+	lab := repro.NewLab(opts)
+
+	type job struct {
+		name string
+		fn   func() (string, error)
+	}
+	static := func(s string) func() (string, error) {
+		return func() (string, error) { return s, nil }
+	}
+	jobs := []job{
+		{"table 1", static(repro.Table1())},
+		{"figure 2", static(repro.Figure2())},
+		{"table 2", lab.Table2},
+		{"figure 3", lab.Figure3},
+		{"table 3", static(repro.Table3())},
+		{"table 4", lab.Table4},
+		{"table 5", static(repro.Table5())},
+		{"figure 6", lab.Figure6},
+		{"figure 7", lab.Figure7},
+		{"figure 9", lab.Figure9},
+		{"figure 10", lab.Figure10},
+		{"figure 11", lab.Figure11},
+		{"figure 12", static(repro.Figure12())},
+		{"table 6", lab.Table6},
+		{"table 7", static(repro.Table7() + "\n" + repro.StorageReport())},
+		{"section 5f", lab.SensitivityVF},
+		{"section 5h", lab.PowerReport},
+		{"section 6c", func() (string, error) { return lab.CoRunReport("gcc") }},
+	}
+
+	want := func(j job) bool {
+		if *all {
+			return true
+		}
+		return (*figure != 0 && j.name == fmt.Sprintf("figure %d", *figure)) ||
+			(*table != 0 && j.name == fmt.Sprintf("table %d", *table)) ||
+			(*section != "" && j.name == "section "+*section)
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if !want(j) {
+			continue
+		}
+		start := time.Now()
+		out, err := j.fn()
+		if err != nil {
+			log.Fatalf("%s: %v", j.name, err)
+		}
+		fmt.Println(out)
+		if d := time.Since(start); d > time.Second {
+			fmt.Fprintf(os.Stderr, "[%s regenerated in %s]\n\n", j.name, d.Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("nothing selected: figure %d / table %d / section %q not available", *figure, *table, *section)
+	}
+}

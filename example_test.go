@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/analytic"
+	"repro/internal/dram"
+)
+
+// The canonical flow: build the baseline system, protect it with AQUA,
+// hammer a row past the migration threshold, and observe the quarantine.
+func ExampleNewAqua() {
+	rank := repro.NewBaselineRank()
+	aqua := repro.NewAqua(rank, repro.AquaConfig{TRH: 1000})
+	ctrl := repro.NewController(rank, aqua)
+
+	geom := rank.Geometry()
+	aggressor := geom.RowOf(0, 42)
+	conflict := geom.RowOf(0, 99_000) // same bank: every access activates
+
+	var now repro.PS
+	for i := 0; i < 500; i++ {
+		now = ctrl.Submit(aggressor, false, now)
+		now = ctrl.Submit(conflict, false, now)
+	}
+	// Both rows crossed T_RH/2 = 500 activations, so both were moved to
+	// the quarantine area.
+	fmt.Println("quarantined:", aqua.IsQuarantined(aggressor), aqua.IsQuarantined(conflict))
+	fmt.Println("mitigations:", aqua.Stats().Mitigations)
+	// Output:
+	// quarantined: true true
+	// mitigations: 2
+}
+
+// The security oracle watches every physical activation at the rank; an
+// unprotected system hammered past T_RH reports a violation.
+func ExampleNewSecurityMonitor() {
+	rank := repro.NewBaselineRank()
+	mon := repro.NewSecurityMonitor(rank, 1000)
+	ctrl := repro.NewController(rank, nil) // unprotected
+
+	geom := rank.Geometry()
+	a, b := geom.RowOf(0, 1), geom.RowOf(0, 2)
+	var now repro.PS
+	for i := 0; i < 1500; i++ {
+		now = ctrl.Submit(a, false, now)
+		now = ctrl.Submit(b, false, now)
+	}
+	fmt.Println("violated:", mon.Violated())
+	// Output:
+	// violated: true
+}
+
+// Equation 3 sizes the Row Quarantine Area so no slot is reused within a
+// refresh window; at the paper's default threshold it is 1.1% of memory.
+func ExampleTable3() {
+	p := analytic.BaselineRQAParams(500) // effective threshold T_RH/2
+	fmt.Println("RQA rows:", p.RMax())
+	fmt.Printf("DRAM overhead: %.1f%%\n", 100*p.DRAMOverhead(dram.Baseline()))
+	// Output:
+	// RQA rows: 23053
+	// DRAM overhead: 1.1%
+}
+
+// The Appendix-A model bounds RRS's migration overhead relative to AQUA:
+// at least 6x, and 9x at the measured hot-row fraction.
+func ExampleFigure12() {
+	fmt.Printf("r(1.0) = %.0fx\n", analytic.RelativeMigrations(1.0))
+	fmt.Printf("r(0.4) = %.0fx\n", analytic.RelativeMigrations(0.4))
+	// Output:
+	// r(1.0) = 6x
+	// r(0.4) = 9x
+}

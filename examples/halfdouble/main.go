@@ -1,0 +1,86 @@
+// Half-Double demo (Figure 1 of the paper): the same attack pattern is
+// launched against victim refresh and against AQUA.
+//
+// Victim refresh protects the rows adjacent to the aggressor — but each
+// mitigating refresh is itself a row opening that disturbs rows one
+// further out, so a heavy hammer of row A drives the distance-2 rows past
+// the flip threshold. AQUA instead relocates the aggressor after T_RH/2
+// activations, so no neighbourhood ever accumulates enough disturbance.
+//
+//	go run ./examples/halfdouble
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/flipmodel"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/vrefresh"
+)
+
+const trh = 400 // Rowhammer threshold for the demo
+
+func main() {
+	geom := repro.BaselineGeometry()
+	victim := geom.RowOf(2, 1000)
+	fmt.Printf("victim: bank %d row %d; attacker hammers the distance-2 ring\n\n",
+		geom.BankOf(victim), geom.IndexOf(victim))
+
+	run("victim-refresh", geom, victim, func(rank *dram.Rank, fm *flipmodel.Model) mitigation.Mitigator {
+		return vrefresh.New(rank, vrefresh.Config{
+			TRH: trh,
+			// The charge model observes the mitigating refreshes — the
+			// mechanism Half-Double exploits.
+			OnRefresh: func(r dram.Row, at dram.PS) { fm.RowOpened(r, at) },
+		})
+	})
+
+	run("aqua", geom, victim, func(rank *dram.Rank, _ *flipmodel.Model) mitigation.Mitigator {
+		return core.New(rank, core.Config{TRH: trh, Mode: core.ModeMemMapped})
+	})
+}
+
+func run(name string, geom dram.Geometry, victim dram.Row,
+	mitigator func(*dram.Rank, *flipmodel.Model) mitigation.Mitigator) {
+
+	rank := repro.NewRank(geom, repro.DDR4Timing())
+	// Flip threshold: 2*T_RH combined disturbance (T_RH is defined per
+	// aggressor row; a victim has two distance-1 neighbours).
+	fm := flipmodel.New(geom, 2*trh, rank.Timing().TREFW)
+	fm.Attach(rank)
+
+	mit := mitigator(rank, fm)
+	ctrl := memctrl.New(rank, mit, memctrl.Config{})
+
+	// Half-Double pattern: hammer the distance-2 ring hard.
+	stream := attack.HalfDouble(geom, victim, trh*trh)
+	c := cpu.New(0, stream, cpu.Config{MLP: 1})
+	for {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			break
+		}
+		c.Issue(at, ctrl.Submit)
+	}
+
+	st := mit.Stats()
+	fmt.Printf("%-14s mitigations=%-5d refreshes=%-5d migrations=%-4d victim disturbance=%d\n",
+		name, st.Mitigations, st.VictimRefreshes, st.RowMigrations, fm.Disturbance(victim))
+	flipped := false
+	for _, f := range fm.Flips() {
+		if f.Victim == victim {
+			flipped = true
+		}
+	}
+	if flipped {
+		fmt.Printf("%-14s >>> BIT FLIP in the distance-2 victim (Half-Double succeeded)\n\n", name)
+	} else {
+		fmt.Printf("%-14s victim intact\n\n", name)
+	}
+}

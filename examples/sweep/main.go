@@ -1,0 +1,59 @@
+// Threshold sweep: how AQUA scales as the Rowhammer threshold drops
+// (the trend that breaks RRS, Figures 3 and 11, and the Table III sizing).
+//
+// For each T_RH the example prints the closed-form quarantine size
+// (Equation 3) and the measured slowdown of AQUA and RRS on a
+// memory-intensive workload.
+//
+//	go run ./examples/sweep            # fast 8ms windows
+//	go run ./examples/sweep -window 64 # full refresh windows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/analytic"
+	"repro/internal/dram"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	windowMS := flag.Int("window", 8, "simulated window in ms")
+	workload := flag.String("workload", "gcc", "workload to sweep")
+	flag.Parse()
+
+	fmt.Println("Quarantine-area sizing (Equation 3 / Table III):")
+	fmt.Println(repro.Table3())
+
+	runner := sim.NewRunner(sim.ExpConfig{
+		Window:    dram.PS(*windowMS) * dram.Millisecond,
+		Calibrate: true,
+	})
+
+	fmt.Printf("Measured on %q (%d ms windows):\n", *workload, *windowMS)
+	fmt.Printf("%6s  %12s  %12s  %14s  %12s\n",
+		"T_RH", "AQUA slowdn", "RRS slowdn", "AQUA migr/64ms", "RQA rows")
+	for _, trh := range []int64{4000, 2000, 1000, 500} {
+		aqua, err := runner.Run(*workload, repro.SchemeAquaMemMapped, trh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rrs, err := runner.Run(*workload, repro.SchemeRRS, trh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rqa := analytic.BaselineRQAParams(trh / 2).RMax()
+		fmt.Printf("%6d  %11.1f%%  %11.1f%%  %14.0f  %12d\n",
+			trh,
+			(1/aqua.NormIPC-1)*100,
+			(1/rrs.NormIPC-1)*100,
+			aqua.Result.MigrationsPer64ms,
+			rqa)
+	}
+	fmt.Println("\nAQUA's slowdown stays an order of magnitude below RRS as T_RH drops,")
+	fmt.Println("while the quarantine area stays near 1% of memory — the paper's headline.")
+}

@@ -1,0 +1,557 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// LabOptions configures the figure-regeneration lab.
+type LabOptions struct {
+	// Window is the fixed instruction budget expressed as baseline
+	// simulated time (default 64ms — one full refresh window, the paper's
+	// metric window). Smaller windows run proportionally faster but
+	// under-count threshold crossings of mid-rate rows.
+	Window PS
+	// Workloads selects the evaluated cases; nil means all 34 (18 SPEC +
+	// 16 mixes). Use SPECWorkloads() for the fast 18-workload subset.
+	Workloads []string
+	// Seed drives all randomization.
+	Seed uint64
+	// Calibrate enables the two-pass baseline-IPC calibration (default
+	// true; see DESIGN.md).
+	NoCalibration bool
+}
+
+// AllWorkloads returns all 34 case names (18 SPEC + 16 mixes).
+func AllWorkloads() []string { return sim.AllCaseNames() }
+
+// SPECWorkloads returns the 18 SPEC rate workload names.
+func SPECWorkloads() []string { return sim.SPECCaseNames() }
+
+// Lab runs the paper's experiments with a shared result cache, so figures
+// that need the same (workload, scheme, threshold) cell don't re-simulate.
+type Lab struct {
+	opts   LabOptions
+	runner *sim.Runner
+	cache  map[labKey]sim.WorkloadRun
+}
+
+type labKey struct {
+	workload string
+	scheme   Scheme
+	trh      int64
+}
+
+// NewLab builds a Lab.
+func NewLab(opts LabOptions) *Lab {
+	if opts.Window == 0 {
+		opts.Window = 64 * dram.Millisecond
+	}
+	if len(opts.Workloads) == 0 {
+		opts.Workloads = sim.AllCaseNames()
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 0x41515541
+	}
+	return &Lab{
+		opts: opts,
+		runner: sim.NewRunner(sim.ExpConfig{
+			Window:    opts.Window,
+			Seed:      opts.Seed,
+			Calibrate: !opts.NoCalibration,
+		}),
+		cache: make(map[labKey]sim.WorkloadRun),
+	}
+}
+
+// Run measures one workload under one scheme at a threshold, caching the
+// result.
+func (l *Lab) Run(name string, scheme Scheme, trh int64) (sim.WorkloadRun, error) {
+	key := labKey{name, scheme, trh}
+	if r, ok := l.cache[key]; ok {
+		return r, nil
+	}
+	r, err := l.runner.Run(name, scheme, trh)
+	if err != nil {
+		return sim.WorkloadRun{}, err
+	}
+	l.cache[key] = r
+	return r, nil
+}
+
+// slowdownRow collects normalized IPC for each workload under the cells,
+// appending a geometric-mean row.
+func (l *Lab) normIPCTable(title string, cells []sim.GridCell, colNames []string) (string, error) {
+	headers := append([]string{"Workload"}, colNames...)
+	t := stats.NewTable(title, headers...)
+	per := make([][]float64, len(cells))
+	for _, name := range l.opts.Workloads {
+		row := []string{name}
+		for i, cell := range cells {
+			r, err := l.Run(name, cell.Scheme, cell.TRH)
+			if err != nil {
+				return "", err
+			}
+			per[i] = append(per[i], r.NormIPC)
+			row = append(row, fmt.Sprintf("%.3f", r.NormIPC))
+		}
+		t.AddRow(row...)
+	}
+	gm := []string{fmt.Sprintf("Gmean-%d", len(l.opts.Workloads))}
+	for i := range cells {
+		gm = append(gm, fmt.Sprintf("%.3f", stats.Geomean(per[i])))
+	}
+	t.AddRow(gm...)
+	return t.String(), nil
+}
+
+// Figure2 renders the historical Rowhammer-threshold trend (Section II-C):
+// published characterization points, a static dataset.
+func Figure2() string {
+	t := stats.NewTable("Figure 2: Rowhammer threshold over time",
+		"Year", "DRAM", "T_RH (activations)")
+	t.AddRow("2014", "DDR3", "139K")
+	t.AddRow("2017", "DDR3 (new)", "22.4K")
+	t.AddRow("2020", "DDR4", "10K")
+	t.AddRow("2020", "LPDDR4", "4.8K")
+	return t.String()
+}
+
+// Figure3 regenerates Figure 3: RRS slowdown as T_RH drops from 4K to 1K.
+func (l *Lab) Figure3() (string, error) {
+	cells := []sim.GridCell{
+		{Scheme: SchemeRRS, TRH: 4000},
+		{Scheme: SchemeRRS, TRH: 2000},
+		{Scheme: SchemeRRS, TRH: 1000},
+	}
+	return l.normIPCTable(
+		"Figure 3: Normalized IPC of RRS at T_RH = 4K / 2K / 1K (paper gmean: 0.973 / 0.924 / 0.835)",
+		cells, []string{"RRS-4K", "RRS-2K", "RRS-1K"})
+}
+
+// Figure6 regenerates Figure 6: row migrations per 64ms for AQUA and RRS
+// at T_RH=1K (paper averages: 1099 vs 9935).
+func (l *Lab) Figure6() (string, error) {
+	t := stats.NewTable(
+		"Figure 6: Row migrations per 64ms at T_RH=1K (paper avg: AQUA 1099, RRS 9935)",
+		"Workload", "AQUA", "RRS", "RRS/AQUA")
+	var aquaAll, rrsAll []float64
+	for _, name := range l.opts.Workloads {
+		a, err := l.Run(name, SchemeAquaMemMapped, 1000)
+		if err != nil {
+			return "", err
+		}
+		r, err := l.Run(name, SchemeRRS, 1000)
+		if err != nil {
+			return "", err
+		}
+		aquaAll = append(aquaAll, a.Result.MigrationsPer64ms)
+		rrsAll = append(rrsAll, r.Result.MigrationsPer64ms)
+		ratio := "-"
+		if a.Result.MigrationsPer64ms > 0 {
+			ratio = fmt.Sprintf("%.1fx", r.Result.MigrationsPer64ms/a.Result.MigrationsPer64ms)
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.0f", a.Result.MigrationsPer64ms),
+			fmt.Sprintf("%.0f", r.Result.MigrationsPer64ms), ratio)
+	}
+	avgA, avgR := stats.Mean(aquaAll), stats.Mean(rrsAll)
+	ratio := "-"
+	if avgA > 0 {
+		ratio = fmt.Sprintf("%.1fx", avgR/avgA)
+	}
+	t.AddRow("Average", fmt.Sprintf("%.0f", avgA), fmt.Sprintf("%.0f", avgR), ratio)
+	return t.String(), nil
+}
+
+// Figure7 regenerates Figure 7: normalized IPC of AQUA (SRAM tables) and
+// RRS at T_RH=1K (paper gmean: AQUA 0.982, RRS 0.835).
+func (l *Lab) Figure7() (string, error) {
+	cells := []sim.GridCell{
+		{Scheme: SchemeAquaSRAM, TRH: 1000},
+		{Scheme: SchemeRRS, TRH: 1000},
+	}
+	return l.normIPCTable(
+		"Figure 7: Normalized IPC at T_RH=1K (paper gmean: AQUA 0.982, RRS 0.835)",
+		cells, []string{"AQUA", "RRS"})
+}
+
+// Figure9 regenerates Figure 9: AQUA with SRAM vs memory-mapped tables
+// (paper gmean: 0.982 vs 0.979).
+func (l *Lab) Figure9() (string, error) {
+	cells := []sim.GridCell{
+		{Scheme: SchemeAquaSRAM, TRH: 1000},
+		{Scheme: SchemeAquaMemMapped, TRH: 1000},
+	}
+	return l.normIPCTable(
+		"Figure 9: AQUA normalized IPC, SRAM vs memory-mapped tables (paper gmean: 0.982 vs 0.979)",
+		cells, []string{"AQUA-SRAM", "AQUA-MemMap"})
+}
+
+// Figure10 regenerates Figure 10: the FPT-lookup breakdown of memory-
+// mapped AQUA (paper averages: 92.2% bloom-filtered, 7.3% cache hits, 0.4%
+// singleton, 0.02% DRAM).
+func (l *Lab) Figure10() (string, error) {
+	t := stats.NewTable(
+		"Figure 10: FPT-lookup breakdown (paper avg: 92.2% bloom / 7.3% cache / 0.4% singleton / 0.02% DRAM)",
+		"Workload", "Bloom-reset", "FPT-Cache hit", "Singleton", "DRAM")
+	var b, c, s, d []float64
+	for _, name := range l.opts.Workloads {
+		r, err := l.Run(name, SchemeAquaMemMapped, 1000)
+		if err != nil {
+			return "", err
+		}
+		bd := sim.BreakdownOf(r.Result)
+		b = append(b, bd.BloomFiltered)
+		c = append(c, bd.CacheHit)
+		s = append(s, bd.Singleton)
+		d = append(d, bd.DRAM)
+		t.AddRow(name, pct(bd.BloomFiltered), pct(bd.CacheHit), pct(bd.Singleton), pct(bd.DRAM))
+	}
+	t.AddRow("Average", pct(stats.Mean(b)), pct(stats.Mean(c)), pct(stats.Mean(s)), pct(stats.Mean(d)))
+	return t.String(), nil
+}
+
+// Figure11 regenerates Figure 11: AQUA's sensitivity to the Rowhammer
+// threshold (paper slowdowns: 0.2% at 2K, 2.1% at 1K, 6.8% at 500).
+func (l *Lab) Figure11() (string, error) {
+	t := stats.NewTable(
+		"Figure 11: AQUA (memory-mapped) sensitivity to T_RH (paper slowdown: 0.2% / 2.1% / 6.8%)",
+		"T_RH", "Gmean norm. IPC", "Slowdown")
+	for _, trh := range []int64{2000, 1000, 500} {
+		var norms []float64
+		for _, name := range l.opts.Workloads {
+			r, err := l.Run(name, SchemeAquaMemMapped, trh)
+			if err != nil {
+				return "", err
+			}
+			norms = append(norms, r.NormIPC)
+		}
+		gm := stats.Geomean(norms)
+		t.AddRow(fmt.Sprintf("%d", trh), fmt.Sprintf("%.3f", gm), pct(1-gm))
+	}
+	return t.String(), nil
+}
+
+// SensitivityVF regenerates the Section V-F structure-sensitivity study:
+// AQUA's slowdown as the bloom filter is varied from 8KB to 32KB (paper:
+// 2.3% / 2.1% / 2.0%) and the FPT-Cache from 8KB to 32KB (paper: flat at
+// 2.1%). Bloom bytes map to group sizes (8KB = 32 rows/bit, 16KB = 16,
+// 32KB = 8); cache bytes to entry counts (2K/4K/8K).
+func (l *Lab) SensitivityVF() (string, error) {
+	t := stats.NewTable(
+		"Section V-F: sensitivity to bloom-filter and FPT-Cache size (paper: 2.3%/2.1%/2.0% and flat)",
+		"Structure", "Size", "Gmean norm. IPC", "Slowdown")
+	type variant struct {
+		label string
+		size  string
+		cfg   sim.Config
+	}
+	variants := []variant{
+		{"bloom-filter", "8 KB", sim.Config{BloomGroupSize: 32}},
+		{"bloom-filter", "16 KB", sim.Config{BloomGroupSize: 16}},
+		{"bloom-filter", "32 KB", sim.Config{BloomGroupSize: 8}},
+		{"fpt-cache", "8 KB", sim.Config{FPTCacheEntries: 2048}},
+		{"fpt-cache", "16 KB", sim.Config{FPTCacheEntries: 4096}},
+		{"fpt-cache", "32 KB", sim.Config{FPTCacheEntries: 8192}},
+	}
+	for _, v := range variants {
+		var norms []float64
+		for _, name := range l.opts.Workloads {
+			r, err := l.runner.RunVariant(name, SchemeAquaMemMapped, 1000, v.cfg)
+			if err != nil {
+				return "", err
+			}
+			norms = append(norms, r.NormIPC)
+		}
+		gm := stats.Geomean(norms)
+		t.AddRow(v.label, v.size, fmt.Sprintf("%.3f", gm), pct(1-gm))
+	}
+	return t.String(), nil
+}
+
+// Figure12 regenerates Figure 12: the analytical relative-migration model
+// r(f) of Appendix A.
+func Figure12() string {
+	t := stats.NewTable(
+		"Figure 12: Analytical model — RRS/AQUA row-migration ratio r(f) = (2+4f)/f",
+		"f", "r(f)")
+	for _, f := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		t.AddRow(fmt.Sprintf("%.2f", f), fmt.Sprintf("%.1f", analytic.RelativeMigrations(f)))
+	}
+	return t.String()
+}
+
+// Table1 renders Table I: the baseline system configuration.
+func Table1() string {
+	geom := dram.Baseline()
+	tm := dram.DDR4()
+	t := stats.NewTable("Table I: Baseline system configuration", "Parameter", "Value")
+	t.AddRow("Out-of-order cores", "4 cores at 3GHz (interval model)")
+	t.AddRow("MLP per core", "4 outstanding misses")
+	t.AddRow("Memory size", fmt.Sprintf("%d GB DDR4", geom.CapacityBytes()/(1<<30)))
+	t.AddRow("tRCD-tCL-tRP-tRC", fmt.Sprintf("%.1f-%.1f-%.1f-%.0f ns",
+		float64(tm.TRCD)/1e3, float64(tm.TCL)/1e3, float64(tm.TRP)/1e3, float64(tm.TRC)/1e3))
+	t.AddRow("tCCD_S, tCCD_L", fmt.Sprintf("%.1f ns, %.0f ns",
+		float64(tm.TCCDS)/1e3, float64(tm.TCCDL)/1e3))
+	t.AddRow("Banks x Ranks x Channels", fmt.Sprintf("%d x 1 x 1", geom.Banks))
+	t.AddRow("Rows per bank", fmt.Sprintf("%dK", geom.RowsPerBank/1024))
+	t.AddRow("Size of row", fmt.Sprintf("%d KB", geom.RowBytes/1024))
+	t.AddRow("Refresh (tREFI / tRFC / tREFW)", fmt.Sprintf("%.1f us / %.0f ns / %.0f ms",
+		float64(tm.TREFI)/1e6, float64(tm.TRFC)/1e3, float64(tm.TREFW)/1e9))
+	return t.String()
+}
+
+// CoRunReport regenerates the Section VI-C quality-of-service experiment:
+// a DoS attacker on one core, a benign workload on the rest; the victims'
+// slowdown attributable to AQUA's migrations must stay under the 2.95x
+// analytical bound.
+func (l *Lab) CoRunReport(workloadName string) (string, error) {
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return "", fmt.Errorf("repro: unknown workload %q", workloadName)
+	}
+	window := l.opts.Window
+	if window > 8*dram.Millisecond {
+		window = 8 * dram.Millisecond // co-run needs no full refresh window
+	}
+	res, err := sim.CoRun(SchemeAquaSRAM, 1000, spec, window, l.opts.Seed)
+	if err != nil {
+		return "", err
+	}
+	bound := analytic.WorstCaseSlowdown(analytic.BaselineRQAParams(500))
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section VI-C co-run: DoS attacker on core 0, %s on cores 1-3\n", workloadName)
+	fmt.Fprintf(&b, "  victim IPC solo:            %.3f\n", res.SoloVictimIPC)
+	fmt.Fprintf(&b, "  victim IPC under attack:    %.3f (unprotected)\n", res.BaselineVictimIPC)
+	fmt.Fprintf(&b, "  victim IPC under attack:    %.3f (AQUA)\n", res.VictimIPC)
+	fmt.Fprintf(&b, "  AQUA-attributable slowdown: %.2fx (analytical bound %.2fx)\n",
+		res.AttackSlowdown, bound)
+	fmt.Fprintf(&b, "  mitigations during co-run:  %d; invariant violated: %v\n",
+		res.Mitigations, res.Violated)
+	return b.String(), nil
+}
+
+// Table2 regenerates Table II: measured MPKI-driven workload
+// characterization vs the paper's reference values.
+func (l *Lab) Table2() (string, error) {
+	t := stats.NewTable(
+		"Table II: Workload characteristics (measured on the synthetic streams; paper values in parentheses)",
+		"Workload", "MPKI", "ACT-166+", "ACT-500+", "ACT-1K+")
+	tiers := []int64{166, 500, 1000}
+	var sums [3]float64
+	n := 0
+	for _, name := range l.opts.Workloads {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			continue // Table II covers the 18 SPEC workloads only
+		}
+		counts, err := l.runner.RowTierCounts(name, tiers)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", spec.MPKI),
+			fmt.Sprintf("%d (%d)", counts[166], spec.Rows166),
+			fmt.Sprintf("%d (%d)", counts[500], spec.Rows500),
+			fmt.Sprintf("%d (%d)", counts[1000], spec.Rows1K))
+		sums[0] += float64(counts[166])
+		sums[1] += float64(counts[500])
+		sums[2] += float64(counts[1000])
+		n++
+	}
+	if n > 0 {
+		t.AddRow("Average", "",
+			fmt.Sprintf("%.0f (1665)", sums[0]/float64(n)),
+			fmt.Sprintf("%.0f (694)", sums[1]/float64(n)),
+			fmt.Sprintf("%.0f (57)", sums[2]/float64(n)))
+	}
+	return t.String(), nil
+}
+
+// Table3 regenerates Table III: quarantine-area sizing vs effective
+// threshold (closed-form; matches the paper exactly).
+func Table3() string {
+	t := stats.NewTable("Table III: Size of quarantine area vs effective threshold",
+		"Threshold (A)", "Rmax (rows)", "Quarantine (MB)", "DRAM overhead")
+	for _, row := range analytic.Table3() {
+		t.AddRow(fmt.Sprintf("%d", row.EffectiveThreshold),
+			fmt.Sprintf("%d", row.RMax),
+			fmt.Sprintf("%.0f", row.QuarantineMB),
+			pct(row.DRAMOverhead))
+	}
+	return t.String()
+}
+
+// Table4 regenerates Table IV: victim refresh vs AQUA.
+func (l *Lab) Table4() (string, error) {
+	var vr, aq []float64
+	for _, name := range l.opts.Workloads {
+		v, err := l.Run(name, SchemeVictimRefresh, 1000)
+		if err != nil {
+			return "", err
+		}
+		a, err := l.Run(name, SchemeAquaMemMapped, 1000)
+		if err != nil {
+			return "", err
+		}
+		vr = append(vr, v.NormIPC)
+		aq = append(aq, a.NormIPC)
+	}
+	t := stats.NewTable("Table IV: Comparison of AQUA with victim refresh",
+		"Attribute", "Victim-Refresh", "AQUA")
+	t.AddRow("Slowdown (measured)", pct(1-stats.Geomean(vr)), pct(1-stats.Geomean(aq)))
+	t.AddRow("Mitigates classic Rowhammer", "yes", "yes")
+	t.AddRow("Mitigates complex patterns (Half-Double)", "NO", "yes")
+	t.AddRow("Works without knowing DRAM mapping", "NO", "yes")
+	return t.String(), nil
+}
+
+// Table5 regenerates Table V: CROW copy-row provisioning (closed-form).
+func Table5() string {
+	t := stats.NewTable("Table V: Rowhammer threshold tolerated by CROW (512-row subarray)",
+		"Copy-Rows", "DRAM overhead", "Aggressors", "T_RH tolerated")
+	for _, row := range analytic.Table5() {
+		t.AddRow(fmt.Sprintf("%d", row.CopyRows),
+			pct(row.DRAMOverhead),
+			fmt.Sprintf("%d", row.Aggressors),
+			fmt.Sprintf("%d", row.TRHTolerated))
+	}
+	return t.String()
+}
+
+// Table6 regenerates Table VI: the scheme comparison at T_RH=1K, combining
+// measured slowdowns with the paper's storage analysis.
+func (l *Lab) Table6() (string, error) {
+	slow := func(scheme Scheme) (string, error) {
+		var norms []float64
+		for _, name := range l.opts.Workloads {
+			r, err := l.Run(name, scheme, 1000)
+			if err != nil {
+				return "", err
+			}
+			norms = append(norms, r.NormIPC)
+		}
+		return pct(1 - stats.Geomean(norms)), nil
+	}
+	bh, err := slow(SchemeBlockhammer)
+	if err != nil {
+		return "", err
+	}
+	rr, err := slow(SchemeRRS)
+	if err != nil {
+		return "", err
+	}
+	aq, err := slow(SchemeAquaMemMapped)
+	if err != nil {
+		return "", err
+	}
+
+	storage := analytic.ComputeStorage(dram.Baseline(), analytic.BaselineRQAParams(500).RMax())
+	wc := analytic.WorstCaseSlowdown(analytic.BaselineRQAParams(500))
+	ritMB := float64(analytic.RRSRITBytes(dram.DDR4(), 16, 166)) / (1 << 20)
+
+	t := stats.NewTable("Table VI: Comparison of mitigation schemes at T_RH=1K (paper slowdowns: BH 36%, RRS 19.8%, AQUA 2.1%)",
+		"Metric", "Blockhammer", "CROW", "RRS", "AQUA")
+	t.AddRow("SRAM for mapping tables", "n/a", "26 MB",
+		fmt.Sprintf("%.1f MB", ritMB),
+		fmt.Sprintf("%d KB", storage.SRAMTotalMemMapped()/1024))
+	t.AddRow("DRAM storage overhead", "0%", "1060%", "0%",
+		pct(float64(storage.DRAMTotal())/float64(dram.Baseline().CapacityBytes())))
+	t.AddRow("Normalized perf. loss (measured)", bh, "<0.1%", rr, aq)
+	t.AddRow("Worst-case slowdown", "1280x", "<1%", "11x", fmt.Sprintf("%.2fx", wc))
+	t.AddRow("Commodity DRAM", "yes", "NO", "yes", "yes")
+	return t.String(), nil
+}
+
+// Table7 regenerates Appendix B's Table VII: SRAM overheads including
+// trackers.
+func Table7() string {
+	t := stats.NewTable("Table VII: SRAM overheads of RRS and AQUA including trackers",
+		"Structure", "RRS-MG", "AQUA-MG", "RRS-Hydra", "AQUA-Hydra")
+	for _, row := range analytic.Table7() {
+		t.AddRow(row.Structure, kb(row.RRSMG), kb(row.AquaMG), kb(row.RRSHydra), kb(row.AquaHydra))
+	}
+	return t.String()
+}
+
+// PowerReport regenerates Section V-H as a measurement: the IDD-model
+// DRAM power of baseline vs AQUA (memory-mapped) runs, averaged over the
+// lab's workloads, plus the paper's CACTI SRAM constants. The paper
+// reports +0.7% (8.5mW) DRAM and 13.6mW SRAM.
+func (l *Lab) PowerReport() (string, error) {
+	var basePW, aquaPW []float64
+	for _, name := range l.opts.Workloads {
+		base, err := l.Run(name, SchemeBaseline, 1000)
+		if err != nil {
+			return "", err
+		}
+		aqua, err := l.Run(name, SchemeAquaMemMapped, 1000)
+		if err != nil {
+			return "", err
+		}
+		if base.Result.DRAMPowerMW > 0 {
+			basePW = append(basePW, base.Result.DRAMPowerMW)
+			aquaPW = append(aquaPW, aqua.Result.DRAMPowerMW)
+		}
+	}
+	pb, pa := stats.Mean(basePW), stats.Mean(aquaPW)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section V-H: power (paper: DRAM +0.7%% = 8.5 mW; SRAM 13.6 mW)\n")
+	fmt.Fprintf(&b, "  DRAM (IDD model, avg over %d workloads): baseline %.2f mW, AQUA %.2f mW (+%.3f mW, +%.3f%%)\n",
+		len(basePW), pb, pa, pa-pb, safePct(pa-pb, pb))
+	sp := analytic.PaperPower()
+	fmt.Fprintf(&b, "  SRAM (CACTI constants): bloom %.1f + FPT-Cache %.1f + copy buffer %.1f = %.1f mW\n",
+		sp.BloomMilliwatts, sp.FPTCacheMilliwatts, sp.CopyBufferMilliwatts, sp.SRAMTotalMilliwatts())
+	return b.String(), nil
+}
+
+func safePct(delta, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return delta / base * 100
+}
+
+// StorageReport renders the Section V-G storage accounting computed from
+// first principles for the baseline configuration.
+func StorageReport() string {
+	rqa := analytic.BaselineRQAParams(500).RMax()
+	s := analytic.ComputeStorage(dram.Baseline(), rqa)
+	var b strings.Builder
+	fmt.Fprintf(&b, "AQUA storage at T_RH=1K (RQA = %d rows)\n", rqa)
+	fmt.Fprintf(&b, "  SRAM tables (Section IV-C): FPT %d KB + RPT %d KB = %d KB (paper: 172 KB)\n",
+		s.FPTSRAMBytes/1024, s.RPTSRAMBytes/1024, s.SRAMTotalSRAMVariant()/1024)
+	fmt.Fprintf(&b, "  Memory-mapped SRAM (Section V-G): bloom %d KB + FPT-Cache %d KB + copy buffer %d KB + pinned %.1f KB = %.1f KB (paper: 41 KB)\n",
+		s.BloomBytes/1024, s.FPTCacheBytes/1024, s.CopyBufferBytes/1024,
+		float64(s.PinnedFPTBytes)/1024, float64(s.SRAMTotalMemMapped())/1024)
+	fmt.Fprintf(&b, "  DRAM: quarantine %.0f MB + FPT %.1f MB + RPT %.1f MB = %.0f MB (%.2f%% of 16 GB; paper: 185 MB = 1.13%%)\n",
+		float64(s.QuarantineBytes)/(1<<20), float64(s.FPTDRAMBytes)/(1<<20),
+		float64(s.RPTDRAMBytes)/(1<<20), float64(s.DRAMTotal())/(1<<20),
+		100*float64(s.DRAMTotal())/float64(dram.Baseline().CapacityBytes()))
+	p := analytic.PaperPower()
+	fmt.Fprintf(&b, "  Power (Section V-H): DRAM +%.1f mW, SRAM %.1f mW (bloom %.1f + cache %.1f + buffer %.1f)\n",
+		p.DRAMMilliwatts, p.SRAMTotalMilliwatts(), p.BloomMilliwatts, p.FPTCacheMilliwatts, p.CopyBufferMilliwatts)
+	return b.String()
+}
+
+// SortedCacheKeys lists the lab's cached cells (for debugging/reports).
+func (l *Lab) SortedCacheKeys() []string {
+	var keys []string
+	for k := range l.cache {
+		keys = append(keys, fmt.Sprintf("%s/%s/%d", k.workload, k.scheme, k.trh))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func kb(bytes int) string { return fmt.Sprintf("%.1f KB", float64(bytes)/1024) }

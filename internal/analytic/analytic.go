@@ -1,0 +1,423 @@
+// Package analytic implements the paper's closed-form models: the Row
+// Quarantine Area sizing of Section IV-E (Equations 1-3, Table III), the
+// worst-case denial-of-service bound of Section VI-C, the Appendix-A
+// relative-migration model r(f) behind Figure 12, the CROW provisioning
+// analysis of Table V, and the SRAM/DRAM storage and power accounting of
+// Sections V-G/V-H and Appendix B.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dram"
+)
+
+// RQAParams are the inputs to the quarantine-area sizing model.
+type RQAParams struct {
+	// EffectiveThreshold A: activations that trigger a row migration
+	// (T_RH/2 for AQUA's Misra-Gries tracker).
+	EffectiveThreshold int64
+	// Banks B per rank that can be attacked concurrently.
+	Banks int
+	// Timing supplies tRC, tREFW and the migration time.
+	Timing dram.Timing
+	// LinesPerRow sizes one row transfer.
+	LinesPerRow int
+}
+
+// BaselineRQAParams returns the paper's defaults for a given effective
+// threshold: 16 banks, DDR4 timing, 8KB rows.
+func BaselineRQAParams(effectiveThreshold int64) RQAParams {
+	return RQAParams{
+		EffectiveThreshold: effectiveThreshold,
+		Banks:              16,
+		Timing:             dram.DDR4(),
+		LinesPerRow:        128,
+	}
+}
+
+// TAgg returns t_AGG (Equation 1): the minimum time for an attacker to
+// accumulate A activations to one row.
+func (p RQAParams) TAgg() dram.PS {
+	return p.EffectiveThreshold * p.Timing.TRC
+}
+
+// TMov returns t_mov: the channel-busy time of one quarantine migration
+// (one row read plus one row write, ~1.37us for the baseline).
+func (p RQAParams) TMov() dram.PS {
+	return p.Timing.MigrationTime(p.LinesPerRow)
+}
+
+// RMax returns the maximum number of row migrations into the RQA within
+// one refresh window (Equation 3):
+//
+//	R_max = t_REFW * B / (t_AGG + B * t_mov)
+//
+// The RQA must hold at least this many rows so no slot is reused within
+// t_REFW. For A=500, B=16 and the baseline timing this is 23,053 rows
+// (Table III).
+func (p RQAParams) RMax() int {
+	if p.EffectiveThreshold < 1 {
+		panic("analytic: effective threshold must be >= 1")
+	}
+	if p.Banks < 1 {
+		panic("analytic: need at least one bank")
+	}
+	num := float64(p.Timing.TREFW) * float64(p.Banks)
+	den := float64(p.TAgg()) + float64(p.Banks)*float64(p.TMov())
+	return int(math.Round(num / den))
+}
+
+// QuarantineBytes returns the DRAM consumed by an RQA of RMax rows.
+func (p RQAParams) QuarantineBytes(rowBytes int) int64 {
+	return int64(p.RMax()) * int64(rowBytes)
+}
+
+// DRAMOverhead returns the RQA size as a fraction of total memory.
+func (p RQAParams) DRAMOverhead(geom dram.Geometry) float64 {
+	return float64(p.QuarantineBytes(geom.RowBytes)) / float64(geom.CapacityBytes())
+}
+
+// Table3Row is one row of the paper's Table III.
+type Table3Row struct {
+	EffectiveThreshold int64
+	RMax               int
+	QuarantineMB       float64
+	DRAMOverhead       float64
+}
+
+// Table3 regenerates Table III for the baseline geometry.
+func Table3() []Table3Row {
+	geom := dram.Baseline()
+	thresholds := []int64{1000, 500, 250, 125, 50, 1}
+	rows := make([]Table3Row, 0, len(thresholds))
+	for _, a := range thresholds {
+		p := BaselineRQAParams(a)
+		rmax := p.RMax()
+		rows = append(rows, Table3Row{
+			EffectiveThreshold: a,
+			RMax:               rmax,
+			QuarantineMB:       float64(rmax) * float64(geom.RowBytes) / (1 << 20),
+			DRAMOverhead:       float64(rmax) / float64(geom.Rows()),
+		})
+	}
+	return rows
+}
+
+// WorstCaseSlowdown returns the Section VI-C denial-of-service bound: an
+// attacker triggering a quarantine-with-eviction on every bank every t_AGG
+// keeps the channel busy an extra B*2*t_mov per t_AGG, so the worst-case
+// slowdown is 1 + B*2*t_mov/t_AGG (~2.95x for the baseline at T_RH=1K).
+func WorstCaseSlowdown(p RQAParams) float64 {
+	busy := float64(p.Banks) * 2 * float64(p.TMov())
+	return 1 + busy/float64(p.TAgg())
+}
+
+// RelativeMigrations returns r(f), the Appendix-A analytical model: the
+// ratio of row migrations performed by RRS to those performed by AQUA when
+// a fraction f of the rows that reach T_RH/6 activations also reach T_RH/2
+// activations.
+//
+// AQUA migrates each of the f rows once (one row move per mitigation). RRS
+// swaps every row reaching T_RH/6: the f hot rows swap 3 times each, the
+// remaining (1-f) rows once, and every swap moves two rows:
+//
+//	r(f) = 2*(3f + (1-f)) / f = (2 + 4f) / f
+//
+// r(1) = 6: RRS performs at least 6x more row migrations than AQUA.
+func RelativeMigrations(f float64) float64 {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("analytic: f must be in (0,1], got %g", f))
+	}
+	return (2 + 4*f) / f
+}
+
+// CROWRow is one row of Table V: the Rowhammer threshold CROW can tolerate
+// as copy-rows per 512-row subarray increase.
+type CROWRow struct {
+	CopyRows     int
+	DRAMOverhead float64
+	Aggressors   int
+	TRHTolerated int64
+}
+
+// CROWTolerance computes Table V: with C copy rows per subarray, CROW can
+// absorb C/2 aggressor rows (each mitigation consumes two copy rows for
+// the victim pair), so the tolerated threshold is ACTmax/(C/2).
+func CROWTolerance(copyRows, subarrayRows int, timing dram.Timing) CROWRow {
+	if copyRows < 2 || subarrayRows < 1 {
+		panic("analytic: invalid CROW configuration")
+	}
+	aggressors := copyRows / 2
+	return CROWRow{
+		CopyRows:     copyRows,
+		DRAMOverhead: float64(copyRows) / float64(subarrayRows),
+		Aggressors:   aggressors,
+		TRHTolerated: timing.ACTMax() / int64(aggressors),
+	}
+}
+
+// Table5 regenerates Table V.
+func Table5() []CROWRow {
+	timing := dram.DDR4()
+	var rows []CROWRow
+	for _, c := range []int{8, 32, 128, 512} {
+		rows = append(rows, CROWTolerance(c, 512, timing))
+	}
+	return rows
+}
+
+// Storage computes the SRAM and DRAM footprints of AQUA's structures from
+// first principles (Sections IV-C and V-G).
+type Storage struct {
+	// SRAM variant (Section IV-C).
+	FPTSRAMBytes int // collision-avoidance table in SRAM
+	RPTSRAMBytes int // direct-mapped reverse pointers in SRAM
+
+	// Memory-mapped variant (Section V).
+	BloomBytes      int // resettable bloom filter
+	FPTCacheBytes   int // FPT-Cache
+	CopyBufferBytes int // one row
+	PinnedFPTBytes  int // FPT entries for the rows holding FPT+RPT
+	FPTDRAMBytes    int64
+	RPTDRAMBytes    int64
+
+	QuarantineRows  int
+	QuarantineBytes int64
+}
+
+// ComputeStorage derives all footprints for a geometry and RQA size.
+func ComputeStorage(geom dram.Geometry, rqaRows int) Storage {
+	rowBits := bitsFor(geom.Rows())
+	rqaBits := bitsFor(rqaRows)
+
+	// FPT as a CAT: ~1.4x overprovisioned entries, each valid + row tag +
+	// forward pointer. The paper provisions 32K entries for 23K valid and
+	// charges 27 bits per entry (tag folded with the set index).
+	fptEntries := nextPow2(int(float64(rqaRows) * 1.4))
+	fptEntryBits := 1 + (rowBits - bitsFor(fptEntries/16)) + rqaBits
+	if fptEntryBits < 1 {
+		fptEntryBits = 1 + rowBits + rqaBits
+	}
+
+	// RPT: one entry per RQA row: valid + reverse pointer.
+	rptEntryBits := 1 + rowBits
+
+	// Memory-mapped tables: one 2-byte FPT entry per memory row; RPT as-is.
+	fptDRAM := int64(geom.Rows()) * 2
+	rptDRAM := int64(rqaRows) * 4
+	// Rows holding the tables need their FPT entries pinned in SRAM.
+	tableRows := int((fptDRAM + rptDRAM + int64(geom.RowBytes) - 1) / int64(geom.RowBytes))
+	pinned := tableRows * 2
+
+	return Storage{
+		FPTSRAMBytes:    (fptEntries*fptEntryBits + 7) / 8,
+		RPTSRAMBytes:    (rqaRows*rptEntryBits + 7) / 8,
+		BloomBytes:      geom.Rows() / 16 / 8, // one bit per 16-row group
+		FPTCacheBytes:   4096 * 4,             // 4K entries x ~32 bits
+		CopyBufferBytes: geom.RowBytes,
+		PinnedFPTBytes:  pinned,
+		FPTDRAMBytes:    fptDRAM,
+		RPTDRAMBytes:    rptDRAM,
+		QuarantineRows:  rqaRows,
+		QuarantineBytes: int64(rqaRows) * int64(geom.RowBytes),
+	}
+}
+
+// SRAMTotalSRAMVariant returns the mapping-table SRAM of the all-SRAM
+// design (paper: 172KB at T_RH=1K).
+func (s Storage) SRAMTotalSRAMVariant() int { return s.FPTSRAMBytes + s.RPTSRAMBytes }
+
+// SRAMTotalMemMapped returns the mapping+migration SRAM of the
+// memory-mapped design (paper: ~41KB at T_RH=1K).
+func (s Storage) SRAMTotalMemMapped() int {
+	return s.BloomBytes + s.FPTCacheBytes + s.CopyBufferBytes + s.PinnedFPTBytes
+}
+
+// DRAMTotal returns the total DRAM overhead of the memory-mapped design in
+// bytes (quarantine area + in-DRAM tables; paper: 185MB = 1.13%).
+func (s Storage) DRAMTotal() int64 {
+	return s.QuarantineBytes + s.FPTDRAMBytes + s.RPTDRAMBytes
+}
+
+// Power holds the paper's reported power overheads (Section V-H). These are
+// CACTI-derived constants reported, not simulated, in the paper.
+type Power struct {
+	DRAMMilliwatts       float64 // extra DRAM power from migrations + tables
+	BloomMilliwatts      float64
+	FPTCacheMilliwatts   float64
+	CopyBufferMilliwatts float64
+}
+
+// PaperPower returns the Section V-H numbers.
+func PaperPower() Power {
+	return Power{
+		DRAMMilliwatts:       8.5,
+		BloomMilliwatts:      5.4,
+		FPTCacheMilliwatts:   5.4,
+		CopyBufferMilliwatts: 2.8,
+	}
+}
+
+// SRAMTotalMilliwatts sums the SRAM components (13.6mW in the paper).
+func (p Power) SRAMTotalMilliwatts() float64 {
+	return p.BloomMilliwatts + p.FPTCacheMilliwatts + p.CopyBufferMilliwatts
+}
+
+// TrackerOverheads returns Appendix B's Table VII: total SRAM per rank for
+// RRS and AQUA with Misra-Gries and Hydra trackers. Values for the
+// trackers and RRS's RIT are the paper's reported constants; AQUA's own
+// structures are computed by ComputeStorage.
+type Table7Row struct {
+	Structure string
+	RRSMG     int // bytes
+	AquaMG    int
+	RRSHydra  int
+	AquaHydra int
+}
+
+// Table7 regenerates Appendix B's Table VII using the paper's reported
+// tracker constants (KB = 1024 bytes).
+func Table7() []Table7Row {
+	kb := func(v float64) int { return int(v * 1024) }
+	rows := []Table7Row{
+		{"Tracker", kb(396), kb(396), kb(28.3), kb(30.3)},
+		{"Mapping Table(s)", kb(2400), kb(32.6), kb(2400), kb(32.6)},
+		{"Buffer(s)", kb(16), kb(8), kb(16), kb(8)},
+	}
+	total := Table7Row{Structure: "Total"}
+	for _, r := range rows {
+		total.RRSMG += r.RRSMG
+		total.AquaMG += r.AquaMG
+		total.RRSHydra += r.RRSHydra
+		total.AquaHydra += r.AquaHydra
+	}
+	return append(rows, total)
+}
+
+// RRSRITBytes estimates the RIT SRAM for RRS at a given swap threshold:
+// entries for every row that can be swapped in an epoch (two per swap),
+// 1.4x overprovisioned as a CAT, ~43 bits per entry. At T_RRS=166 this is
+// in the MB range the paper reports (2.4MB per rank).
+func RRSRITBytes(timing dram.Timing, banks int, swapThreshold int64) int64 {
+	if swapThreshold < 1 {
+		panic("analytic: swap threshold must be >= 1")
+	}
+	maxSwaps := timing.ACTMax() * int64(banks) / swapThreshold
+	entries := float64(2*maxSwaps) * 1.4
+	entryBits := 43.0
+	return int64(math.Ceil(entries * entryBits / 8))
+}
+
+// BirthdayParams model the birthday-paradox attack on RRS (Sections I and
+// II-F): the attacker hammers one install row continuously; every T_RRS
+// activations RRS relocates it to a uniformly random physical row, and the
+// attack succeeds in an epoch in which some physical row is chosen often
+// enough that its accumulated activations reach T_RH.
+type BirthdayParams struct {
+	// TRH is the Rowhammer threshold.
+	TRH int64
+	// Rows is the number of candidate destination rows (the rank).
+	Rows int
+	// Banks attacked in parallel (each contributes an independent stream
+	// of destination draws).
+	Banks int
+	// Timing supplies ACTmax and the epoch length.
+	Timing dram.Timing
+	// Machines is the number of machines attacked in parallel (the paper:
+	// "if the attacker targets N machines, the time for a successful
+	// attack decreases by N").
+	Machines int
+}
+
+// SwapsPerEpoch returns the destination draws available per epoch per
+// bank: ACTmax / T_RRS.
+func (p BirthdayParams) SwapsPerEpoch() float64 {
+	tswap := float64(p.TRH) / 6
+	if tswap < 1 {
+		tswap = 1
+	}
+	return float64(p.Timing.ACTMax()) / tswap
+}
+
+// CollocationsNeeded returns how many times one physical row must be drawn
+// so its accumulated T_RRS-activation visits reach T_RH.
+func (p BirthdayParams) CollocationsNeeded() int {
+	tswap := p.TRH / 6
+	if tswap < 1 {
+		tswap = 1
+	}
+	m := int((p.TRH + tswap - 1) / tswap)
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// SuccessProbabilityPerEpoch returns a Poisson-tail estimate of the
+// probability that some row is drawn at least CollocationsNeeded times in
+// one epoch: N * P(Poisson(lambda) >= m), lambda = draws/N.
+func (p BirthdayParams) SuccessProbabilityPerEpoch() float64 {
+	if p.Rows < 1 || p.Banks < 1 {
+		panic("analytic: birthday model needs rows and banks")
+	}
+	draws := p.SwapsPerEpoch() * float64(p.Banks)
+	lambda := draws / float64(p.Rows)
+	m := p.CollocationsNeeded()
+	// Tail P(X >= m) for Poisson(lambda), dominated by its first term for
+	// the small lambdas of interest.
+	logTerm := float64(m)*math.Log(lambda) - lambda
+	for k := 2; k <= m; k++ {
+		logTerm -= math.Log(float64(k))
+	}
+	tail := math.Exp(logTerm)
+	prob := float64(p.Rows) * tail
+	if prob > 1 {
+		prob = 1
+	}
+	return prob
+}
+
+// MeanYearsToSuccess estimates the expected attack time across the
+// configured machines. This is an order-of-magnitude bound — the RRS
+// paper's finer-grained analysis (which also credits partial overlaps)
+// arrives at ~4 years for T_RH=1K on one machine; the qualitative point
+// the AQUA paper makes is that the guarantee is probabilistic and shrinks
+// linearly with the number of targets, unlike AQUA's deterministic
+// isolation.
+func (p BirthdayParams) MeanYearsToSuccess() float64 {
+	if p.Machines < 1 {
+		p.Machines = 1
+	}
+	prob := p.SuccessProbabilityPerEpoch() * float64(p.Machines)
+	if prob <= 0 {
+		return math.Inf(1)
+	}
+	epochsPerYear := 365.25 * 24 * 3600 / (float64(p.Timing.TREFW) / 1e12)
+	return 1 / (prob * epochsPerYear)
+}
+
+// bitsFor returns the number of bits needed to index n distinct values.
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// nextPow2 rounds up to a power of two.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

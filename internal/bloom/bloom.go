@@ -1,0 +1,152 @@
+// Package bloom implements AQUA's resettable bloom filter (Section V-B):
+// a single-bit-per-entry vector that identifies rows which are *possibly*
+// quarantined, so the memory controller can skip the FPT lookup for the
+// vast majority of accesses.
+//
+// The filter is direct-mapped by *group*: all rows whose FPT entries share
+// the same half of a 64-byte memory-mapped-FPT cacheline (16 entries of 2
+// bytes) map to one bit. The bit is set while any FPT entry in the group is
+// valid and reset as soon as the last one is invalidated — which is what
+// makes the filter resettable without counting bloom filters' 6x SRAM cost.
+// A zero bit is a definitive "not quarantined"; a set bit means "possibly
+// quarantined" (a false positive when the quarantined row is a different
+// member of the group).
+package bloom
+
+import "fmt"
+
+// Filter is the resettable group bloom filter. Not safe for concurrent use.
+type Filter struct {
+	groupShift uint
+	bits       []uint64
+	occupancy  []uint16 // valid FPT entries per group (model-side bookkeeping)
+	nGroups    int
+
+	// Lookup statistics for the Figure 10 breakdown.
+	tests     int64
+	positives int64
+}
+
+// New builds a filter covering totalRows rows with groupSize rows per bit.
+// groupSize must be a power of two. The paper's default is 2M rows with
+// groups of 16, i.e. 128K bits = 16KB SRAM.
+func New(totalRows, groupSize int) *Filter {
+	if totalRows < 1 {
+		panic("bloom: need at least one row")
+	}
+	if groupSize < 1 || groupSize&(groupSize-1) != 0 {
+		panic(fmt.Sprintf("bloom: group size must be a positive power of two, got %d", groupSize))
+	}
+	shift := uint(0)
+	for 1<<shift != groupSize {
+		shift++
+	}
+	nGroups := (totalRows + groupSize - 1) / groupSize
+	return &Filter{
+		groupShift: shift,
+		bits:       make([]uint64, (nGroups+63)/64),
+		occupancy:  make([]uint16, nGroups),
+		nGroups:    nGroups,
+	}
+}
+
+// Groups returns the number of groups (bits) in the filter.
+func (f *Filter) Groups() int { return f.nGroups }
+
+// GroupOf returns the group index of a row.
+func (f *Filter) GroupOf(row uint32) uint32 { return row >> f.groupShift }
+
+// GroupSize returns the number of rows per group.
+func (f *Filter) GroupSize() int { return 1 << f.groupShift }
+
+func (f *Filter) checkGroup(g uint32) {
+	if int(g) >= f.nGroups {
+		panic(fmt.Sprintf("bloom: group %d out of range (%d groups)", g, f.nGroups))
+	}
+}
+
+// Add records that the row's FPT entry became valid: the group bit is set
+// and the group occupancy incremented.
+func (f *Filter) Add(row uint32) {
+	g := f.GroupOf(row)
+	f.checkGroup(g)
+	f.occupancy[g]++
+	f.bits[g/64] |= 1 << (g % 64)
+}
+
+// Remove records that the row's FPT entry was invalidated. The group bit is
+// cleared only when no valid entries remain in the group.
+func (f *Filter) Remove(row uint32) {
+	g := f.GroupOf(row)
+	f.checkGroup(g)
+	if f.occupancy[g] == 0 {
+		panic("bloom: Remove without matching Add")
+	}
+	f.occupancy[g]--
+	if f.occupancy[g] == 0 {
+		f.bits[g/64] &^= 1 << (g % 64)
+	}
+}
+
+// MightContain reports whether the row is possibly quarantined. False means
+// definitively not quarantined.
+func (f *Filter) MightContain(row uint32) bool {
+	g := f.GroupOf(row)
+	f.checkGroup(g)
+	set := f.bits[g/64]&(1<<(g%64)) != 0
+	f.tests++
+	if set {
+		f.positives++
+	}
+	return set
+}
+
+// GroupOccupancy returns the number of valid FPT entries in the row's
+// group. The AQUA engine uses occupancy == 1 to maintain singleton bits.
+func (f *Filter) GroupOccupancy(row uint32) int {
+	g := f.GroupOf(row)
+	f.checkGroup(g)
+	return int(f.occupancy[g])
+}
+
+// PositiveRate returns the fraction of MightContain calls that returned
+// true since construction or the last StatsReset.
+func (f *Filter) PositiveRate() float64 {
+	if f.tests == 0 {
+		return 0
+	}
+	return float64(f.positives) / float64(f.tests)
+}
+
+// Tests returns the number of MightContain calls recorded.
+func (f *Filter) Tests() int64 { return f.tests }
+
+// StatsReset clears the lookup statistics without touching filter state.
+func (f *Filter) StatsReset() { f.tests, f.positives = 0, 0 }
+
+// Reset clears all bits and occupancy (e.g. when reconfiguring; the normal
+// epoch flow never bulk-resets, matching the paper's lazy draining).
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	for i := range f.occupancy {
+		f.occupancy[i] = 0
+	}
+}
+
+// SetBits returns the number of groups whose bit is currently set.
+func (f *Filter) SetBits() int {
+	n := 0
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// SRAMBytes returns the filter's SRAM footprint: one bit per group. (The
+// occupancy counters model information hardware reads from the FPT
+// cacheline itself, so they are not charged to SRAM.)
+func (f *Filter) SRAMBytes() int { return (f.nGroups + 7) / 8 }

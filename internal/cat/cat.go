@@ -1,0 +1,241 @@
+// Package cat implements a Collision-Avoidance Table (CAT): an
+// overprovisioned, skewed-associative lookup table adopted from MIRAGE and
+// used by RRS for its Row Indirection Table and by AQUA for the SRAM
+// variant of its Forward-Pointer Table (Section IV-C).
+//
+// A CAT stores (row -> pointer) mappings for entries that may come from
+// arbitrary locations in memory. Two independent hash functions ("skews")
+// each select a set; an incoming entry is installed in the set with more
+// free ways (power-of-two-choices), with a bounded cuckoo-style relocation
+// as a fallback. With the paper's overprovisioning (32K entries for at most
+// 23K valid) the probability of an unplaceable entry is negligible; the
+// implementation surfaces it as ErrFull so tests can verify the
+// provisioning claim empirically.
+package cat
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// ErrFull is returned when an entry cannot be placed in either skew even
+// after relocation. A correctly provisioned table never returns it.
+var ErrFull = errors.New("cat: both candidate sets full and relocation failed")
+
+// Config sizes a CAT.
+type Config struct {
+	// Sets per skew; must be a power of two.
+	Sets int
+	// Ways per set.
+	Ways int
+	// Seed differentiates hash functions across table instances.
+	Seed uint64
+	// MaxRelocations bounds the cuckoo relocation chain on insert.
+	MaxRelocations int
+}
+
+// DefaultFPT returns the paper's FPT provisioning: 32K entries (2 skews x
+// 2K sets x 8 ways) for up to 23K valid entries.
+func DefaultFPT(seed uint64) Config {
+	return Config{Sets: 2048, Ways: 8, Seed: seed, MaxRelocations: 16}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets < 1 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cat: sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("cat: ways must be >= 1, got %d", c.Ways)
+	}
+	if c.MaxRelocations < 0 {
+		return fmt.Errorf("cat: negative MaxRelocations")
+	}
+	return nil
+}
+
+type slot struct {
+	key   dram.Row
+	value uint32
+	valid bool
+}
+
+// Table is a two-skew CAT mapping dram.Row keys to 32-bit values. Not safe
+// for concurrent use.
+type Table struct {
+	cfg   Config
+	skews [2][]slot // each skew: Sets*Ways slots
+	count int
+
+	// stats
+	relocations int64
+	failures    int64
+}
+
+// New builds a CAT; it panics on invalid configuration.
+func New(cfg Config) *Table {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Table{cfg: cfg}
+	for i := range t.skews {
+		t.skews[i] = make([]slot, cfg.Sets*cfg.Ways)
+	}
+	return t
+}
+
+// Capacity returns the total number of slots across both skews.
+func (t *Table) Capacity() int { return 2 * t.cfg.Sets * t.cfg.Ways }
+
+// Len returns the number of valid entries.
+func (t *Table) Len() int { return t.count }
+
+// Relocations returns the total number of cuckoo displacements performed.
+func (t *Table) Relocations() int64 { return t.relocations }
+
+// hash mixes the key with a per-skew seed (splitmix64 finalizer).
+func (t *Table) hash(skew int, key dram.Row) int {
+	z := uint64(key) + t.cfg.Seed + uint64(skew)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z & uint64(t.cfg.Sets-1))
+}
+
+// set returns the slots of the given skew/set.
+func (t *Table) set(skew, setIdx int) []slot {
+	base := setIdx * t.cfg.Ways
+	return t.skews[skew][base : base+t.cfg.Ways]
+}
+
+// Lookup returns the value mapped to key.
+func (t *Table) Lookup(key dram.Row) (uint32, bool) {
+	for skew := 0; skew < 2; skew++ {
+		for _, s := range t.set(skew, t.hash(skew, key)) {
+			if s.valid && s.key == key {
+				return s.value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t *Table) Contains(key dram.Row) bool {
+	_, ok := t.Lookup(key)
+	return ok
+}
+
+// freeWays counts invalid slots in a set.
+func freeWays(set []slot) int {
+	n := 0
+	for _, s := range set {
+		if !s.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert adds or updates a mapping. Returns ErrFull only if both candidate
+// sets are full and bounded relocation cannot make room.
+func (t *Table) Insert(key dram.Row, value uint32) error {
+	// Update in place if present.
+	for skew := 0; skew < 2; skew++ {
+		set := t.set(skew, t.hash(skew, key))
+		for i := range set {
+			if set[i].valid && set[i].key == key {
+				set[i].value = value
+				return nil
+			}
+		}
+	}
+	return t.place(key, value, t.cfg.MaxRelocations)
+}
+
+// place installs a (key, value) that is known to be absent.
+func (t *Table) place(key dram.Row, value uint32, budget int) error {
+	set0 := t.set(0, t.hash(0, key))
+	set1 := t.set(1, t.hash(1, key))
+	f0, f1 := freeWays(set0), freeWays(set1)
+	target := set0
+	if f1 > f0 {
+		target = set1
+	}
+	if f0 == 0 && f1 == 0 {
+		if budget <= 0 {
+			t.failures++
+			return ErrFull
+		}
+		// Relocate: displace the first entry of skew 0's set to its
+		// alternate skew, recursively.
+		victim := set0[0]
+		set0[0] = slot{key: key, value: value, valid: true}
+		t.relocations++
+		t.count-- // the displaced victim is re-inserted below
+		if err := t.place(victim.key, victim.value, budget-1); err != nil {
+			// Roll back: restore the victim and report failure.
+			set0[0] = victim
+			t.count++
+			t.failures++
+			return ErrFull
+		}
+		t.count++
+		return nil
+	}
+	for i := range target {
+		if !target[i].valid {
+			target[i] = slot{key: key, value: value, valid: true}
+			t.count++
+			return nil
+		}
+	}
+	panic("cat: unreachable: free way disappeared")
+}
+
+// Delete removes a mapping; it reports whether the key was present.
+func (t *Table) Delete(key dram.Row) bool {
+	for skew := 0; skew < 2; skew++ {
+		set := t.set(skew, t.hash(skew, key))
+		for i := range set {
+			if set[i].valid && set[i].key == key {
+				set[i] = slot{}
+				t.count--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clear removes all entries.
+func (t *Table) Clear() {
+	for skew := range t.skews {
+		for i := range t.skews[skew] {
+			t.skews[skew][i] = slot{}
+		}
+	}
+	t.count = 0
+}
+
+// Range calls fn for every valid entry until fn returns false. Iteration
+// order is unspecified but deterministic.
+func (t *Table) Range(fn func(key dram.Row, value uint32) bool) {
+	for skew := range t.skews {
+		for _, s := range t.skews[skew] {
+			if s.valid && !fn(s.key, s.value) {
+				return
+			}
+		}
+	}
+}
+
+// SRAMBytes returns the storage footprint given key and value widths in
+// bits (plus one valid bit per slot), mirroring the paper's accounting
+// (e.g. 32K entries x 27 bits ~= 108KB for the FPT).
+func (t *Table) SRAMBytes(keyBits, valueBits int) int {
+	bits := t.Capacity() * (1 + keyBits + valueBits)
+	return (bits + 7) / 8
+}

@@ -1,0 +1,233 @@
+package cat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+	"repro/internal/rng"
+)
+
+func smallCfg() Config {
+	return Config{Sets: 64, Ways: 4, Seed: 7, MaxRelocations: 8}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tab := New(smallCfg())
+	if err := tab.Insert(dram.Row(10), 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Lookup(dram.Row(10)); !ok || v != 42 {
+		t.Fatalf("lookup = %d,%v", v, ok)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	if !tab.Delete(dram.Row(10)) {
+		t.Fatal("delete failed")
+	}
+	if tab.Contains(dram.Row(10)) {
+		t.Fatal("still present after delete")
+	}
+	if tab.Delete(dram.Row(10)) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	tab := New(smallCfg())
+	tab.Insert(dram.Row(5), 1)
+	tab.Insert(dram.Row(5), 2)
+	if v, _ := tab.Lookup(dram.Row(5)); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d after update", tab.Len())
+	}
+}
+
+func TestMapSemanticsProperty(t *testing.T) {
+	// The CAT must behave exactly like a map for any operation sequence
+	// that stays within a modest load factor.
+	check := func(seed uint64) bool {
+		tab := New(smallCfg())
+		ref := make(map[dram.Row]uint32)
+		r := rng.New(seed)
+		for op := 0; op < 300; op++ {
+			key := dram.Row(r.Intn(200))
+			switch r.Intn(3) {
+			case 0:
+				if len(ref) < tab.Capacity()/3 {
+					val := uint32(r.Intn(1000))
+					if err := tab.Insert(key, val); err != nil {
+						return false
+					}
+					ref[key] = val
+				}
+			case 1:
+				delete(ref, key)
+				tab.Delete(key)
+			case 2:
+				v, ok := tab.Lookup(key)
+				rv, rok := ref[key]
+				if ok != rok || (ok && v != rv) {
+					return false
+				}
+			}
+		}
+		return tab.Len() == len(ref)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperProvisioningHolds23K(t *testing.T) {
+	// Section IV-C: a 32K-entry CAT must hold 23K arbitrary entries
+	// without placement failure.
+	tab := New(DefaultFPT(3))
+	if tab.Capacity() != 32*1024 {
+		t.Fatalf("capacity = %d, want 32K", tab.Capacity())
+	}
+	r := rng.New(12345)
+	inserted := make(map[dram.Row]bool)
+	for len(inserted) < 23053 {
+		key := dram.Row(r.Intn(2 * 1024 * 1024))
+		if inserted[key] {
+			continue
+		}
+		if err := tab.Insert(key, uint32(len(inserted))); err != nil {
+			t.Fatalf("placement failed at entry %d: %v", len(inserted), err)
+		}
+		inserted[key] = true
+	}
+	if tab.Len() != len(inserted) {
+		t.Fatalf("len = %d, want %d", tab.Len(), len(inserted))
+	}
+	// Everything must still be found.
+	for key := range inserted {
+		if !tab.Contains(key) {
+			t.Fatalf("lost key %d", key)
+		}
+	}
+}
+
+func TestErrFullWhenOverloaded(t *testing.T) {
+	tab := New(Config{Sets: 1, Ways: 1, Seed: 1, MaxRelocations: 2})
+	// Capacity 2 (two skews x 1 set x 1 way); inserting more keys than
+	// capacity must eventually fail.
+	var sawFull bool
+	for i := 0; i < 10; i++ {
+		if err := tab.Insert(dram.Row(i), 0); err == ErrFull {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("overloaded table never reported ErrFull")
+	}
+}
+
+func TestRelocationMakesRoom(t *testing.T) {
+	// With relocation enabled the table approaches its capacity further
+	// than the naive two-choice placement would.
+	cfgNoReloc := Config{Sets: 16, Ways: 2, Seed: 5, MaxRelocations: 0}
+	cfgReloc := cfgNoReloc
+	cfgReloc.MaxRelocations = 8
+
+	fill := func(cfg Config) int {
+		tab := New(cfg)
+		r := rng.New(777)
+		n := 0
+		for i := 0; i < tab.Capacity()*4; i++ {
+			if err := tab.Insert(dram.Row(r.Intn(1<<20)), 0); err == nil {
+				n++
+			}
+		}
+		return n
+	}
+	if fill(cfgReloc) < fill(cfgNoReloc) {
+		t.Fatal("relocation reduced achievable occupancy")
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	tab := New(smallCfg())
+	want := map[dram.Row]uint32{1: 10, 2: 20, 3: 30}
+	for k, v := range want {
+		tab.Insert(k, v)
+	}
+	got := make(map[dram.Row]uint32)
+	tab.Range(func(k dram.Row, v uint32) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("range visited %d entries", len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("range saw %d=%d", k, got[k])
+		}
+	}
+	// Early termination.
+	n := 0
+	tab.Range(func(dram.Row, uint32) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("range did not stop: %d", n)
+	}
+}
+
+func TestClear(t *testing.T) {
+	tab := New(smallCfg())
+	for i := 0; i < 20; i++ {
+		tab.Insert(dram.Row(i), uint32(i))
+	}
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Fatal("clear left entries")
+	}
+	if tab.Contains(dram.Row(3)) {
+		t.Fatal("clear left key 3")
+	}
+}
+
+func TestSRAMBytes(t *testing.T) {
+	tab := New(DefaultFPT(1))
+	// 32K entries x (1 + 21 + 15) bits = 148KB; with the paper's folded
+	// tag accounting it reports 108KB — verify our first-principles value.
+	got := tab.SRAMBytes(21, 15)
+	want := 32 * 1024 * 37 / 8
+	if got != want {
+		t.Fatalf("SRAMBytes = %d, want %d", got, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Sets: 0, Ways: 1},
+		{Sets: 3, Ways: 1},
+		{Sets: 4, Ways: 0},
+		{Sets: 4, Ways: 1, MaxRelocations: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	a, b := New(smallCfg()), New(smallCfg())
+	for i := 0; i < 100; i++ {
+		a.Insert(dram.Row(i*17), uint32(i))
+		b.Insert(dram.Row(i*17), uint32(i))
+	}
+	a.Range(func(k dram.Row, v uint32) bool {
+		bv, ok := b.Lookup(k)
+		if !ok || bv != v {
+			t.Fatalf("tables diverged at %d", k)
+		}
+		return true
+	})
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/tracker"
+)
+
+// FuzzEngineOps drives the AQUA engine with a byte-coded operation
+// sequence — hammer bursts on fuzzer-chosen rows, epoch rolls, idle
+// drains — and checks the structural invariants after every step. This is
+// the adversarial-scheduler counterpart to the randomized property test.
+func FuzzEngineOps(f *testing.F) {
+	f.Add([]byte{0x10, 0x20, 0xFF, 0x30, 0x01})
+	f.Add([]byte{0xFE, 0x00, 0xFE, 0x00})
+	f.Add([]byte{})
+
+	geom := dram.Geometry{Banks: 4, RowsPerBank: 128, RowBytes: 1024, LineBytes: 64}
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		for _, mode := range []Mode{ModeSRAM, ModeMemMapped} {
+			rank := dram.NewRank(geom, dram.DDR4())
+			eng := New(rank, Config{
+				TRH:            16,
+				Mode:           mode,
+				RQARows:        12,
+				Tracker:        tracker.NewExact(geom, 8),
+				ProactiveDrain: true,
+			})
+			at := dram.PS(0)
+			visible := eng.VisibleRowsPerBank()
+			for _, op := range ops {
+				switch {
+				case op == 0xFF:
+					eng.OnEpoch(at)
+				case op == 0xFE:
+					eng.OnIdle(at)
+				default:
+					// Hammer a derived row for a derived burst length.
+					row := geom.RowOf(int(op)%geom.Banks, int(op>>2)%visible)
+					burst := int(op%13) + 1
+					for i := 0; i < burst; i++ {
+						tr := eng.Translate(row, at)
+						eng.OnActivate(tr.PhysRow, at)
+						at += 50 * dram.Nanosecond
+					}
+				}
+				at += dram.Microsecond
+				if err := eng.CheckInvariants(); err != nil {
+					t.Fatalf("mode %v after op %#x: %v", mode, op, err)
+				}
+			}
+			if mode == ModeSRAM && eng.CATFailures() != 0 {
+				t.Fatalf("CAT failures: %d", eng.CATFailures())
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package cpu implements the interval-model core front-end: the stand-in
+// for gem5's out-of-order cores that drives the memory system with
+// realistic miss streams.
+//
+// Each core executes a stream of (compute gap, memory request) intervals.
+// Compute advances core-local time at the configured non-memory IPC; a
+// memory request occupies one of a bounded number of outstanding-miss
+// slots (the MLP limit, standing in for MSHRs/ROB capacity). When all
+// slots are busy the core stalls until the oldest miss returns. This
+// reproduces the first-order behaviour that converts channel-busy time
+// (migrations, refresh, table walks) into IPC loss, which is where all of
+// the paper's slowdown comes from (Section IV-G).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// Request is one memory operation produced by a stream.
+type Request struct {
+	// Row is the install (software-visible) row the line lives in.
+	Row dram.Row
+	// Write marks a writeback rather than a demand read.
+	Write bool
+	// GapInstr is the number of instructions executed since the previous
+	// request.
+	GapInstr int64
+}
+
+// Stream produces the core's memory requests in program order. Next
+// returns ok=false when the stream is exhausted.
+type Stream interface {
+	Next() (Request, bool)
+}
+
+// Config parameterizes one core.
+type Config struct {
+	// FreqHz is the core clock (default 3GHz, Table I).
+	FreqHz int64
+	// NonMemIPC is the IPC the core sustains on non-miss instructions
+	// (default 2.0: an 8-wide fetch core bound by dependencies).
+	NonMemIPC float64
+	// MLP is the number of outstanding misses the core overlaps (default
+	// 4).
+	MLP int
+}
+
+func (c *Config) fillDefaults() {
+	if c.FreqHz == 0 {
+		c.FreqHz = 3_000_000_000
+	}
+	if c.NonMemIPC == 0 {
+		c.NonMemIPC = 2.0
+	}
+	if c.MLP == 0 {
+		c.MLP = 4
+	}
+}
+
+// Core is one interval-model core. Not safe for concurrent use.
+type Core struct {
+	cfg    Config
+	id     int
+	stream Stream
+
+	// outstanding completion times, oldest first.
+	outstanding []dram.PS
+	// nextIssue is when the next request's compute gap has elapsed.
+	nextIssue dram.PS
+	// queued is the next request, already drawn from the stream.
+	queued   Request
+	hasQueue bool
+	done     bool
+
+	instrRetired int64
+	lastComplete dram.PS
+	stallTime    dram.PS
+}
+
+// New builds a core over a stream.
+func New(id int, stream Stream, cfg Config) *Core {
+	cfg.fillDefaults()
+	if stream == nil {
+		panic("cpu: nil stream")
+	}
+	return &Core{cfg: cfg, id: id, stream: stream}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Done reports whether the stream is exhausted and all misses returned.
+func (c *Core) Done() bool { return c.done && len(c.outstanding) == 0 }
+
+// InstrRetired returns the instructions completed so far.
+func (c *Core) InstrRetired() int64 { return c.instrRetired }
+
+// FinishTime returns the completion time of the last memory request.
+func (c *Core) FinishTime() dram.PS { return c.lastComplete }
+
+// StallTime returns the accumulated time the core spent with all miss
+// slots occupied.
+func (c *Core) StallTime() dram.PS { return c.stallTime }
+
+// IPC returns instructions per cycle given a measurement interval.
+func (c *Core) IPC(elapsed dram.PS) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	cycles := float64(elapsed) / 1e12 * float64(c.cfg.FreqHz)
+	return float64(c.instrRetired) / cycles
+}
+
+// gapTime converts an instruction gap into core time.
+func (c *Core) gapTime(instr int64) dram.PS {
+	if instr <= 0 {
+		return 0
+	}
+	sec := float64(instr) / c.cfg.NonMemIPC / float64(c.cfg.FreqHz)
+	return dram.PS(sec * 1e12)
+}
+
+// NextIssueTime returns the time at which the core's next request is ready
+// to be submitted, or ok=false if the core has finished. The simulator
+// uses this to pick the globally earliest event.
+func (c *Core) NextIssueTime() (dram.PS, bool) {
+	if c.done {
+		return 0, false
+	}
+	if !c.hasQueue {
+		req, ok := c.stream.Next()
+		if !ok {
+			c.done = true
+			return 0, false
+		}
+		c.queued = req
+		c.hasQueue = true
+		c.nextIssue += c.gapTime(req.GapInstr)
+	}
+	issue := c.nextIssue
+	if len(c.outstanding) >= c.cfg.MLP {
+		// All miss slots busy: stall until the oldest miss returns.
+		if c.outstanding[0] > issue {
+			issue = c.outstanding[0]
+		}
+	}
+	return issue, true
+}
+
+// Issue submits the queued request through submit (typically
+// memctrl.Controller.Submit) at time `at` and updates core state with the
+// completion time.
+func (c *Core) Issue(at dram.PS, submit func(row dram.Row, write bool, at dram.PS) dram.PS) {
+	if !c.hasQueue {
+		panic(fmt.Sprintf("cpu: core %d Issue without a queued request", c.id))
+	}
+	if len(c.outstanding) >= c.cfg.MLP {
+		oldest := c.outstanding[0]
+		c.outstanding = c.outstanding[1:]
+		if oldest > c.nextIssue {
+			c.stallTime += oldest - c.nextIssue
+		}
+	}
+	done := submit(c.queued.Row, c.queued.Write, at)
+	c.outstanding = append(c.outstanding, done)
+	// Keep completions ordered; out-of-order completions are rare (bank
+	// timing is mostly FIFO per this model) but possible across banks.
+	for i := len(c.outstanding) - 1; i > 0 && c.outstanding[i] < c.outstanding[i-1]; i-- {
+		c.outstanding[i], c.outstanding[i-1] = c.outstanding[i-1], c.outstanding[i]
+	}
+	c.instrRetired += c.queued.GapInstr + 1
+	if done > c.lastComplete {
+		c.lastComplete = done
+	}
+	c.nextIssue = at
+	c.hasQueue = false
+}

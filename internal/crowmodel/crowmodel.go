@@ -1,0 +1,142 @@
+// Package crowmodel implements a behavioural model of CROW (Hassan et al.,
+// ISCA 2019) as a Rowhammer mitigation, used for the paper's Table V
+// analysis (Section VII-B).
+//
+// CROW provisions each DRAM subarray with a handful of copy rows and uses
+// in-DRAM RowClone transfers to duplicate victim rows into them. Because
+// RowClone can only copy *within* a subarray, an attacker who focuses on a
+// single subarray exhausts its copy rows: with C copy rows, the subarray
+// can absorb C/2 aggressors (each mitigation consumes the two copy rows
+// flanking the victim pair), after which further aggressors are
+// unprotected. The tolerated threshold is therefore ACTmax/(C/2) — 340K
+// for the default 8 copy rows, far above today's T_RH (Table V).
+//
+// The model allocates copy rows per subarray and reports exhaustion, so
+// tests can verify the Table V tolerance boundary behaviourally rather
+// than only arithmetically.
+package crowmodel
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// Config parameterizes the CROW model.
+type Config struct {
+	// SubarrayRows is the subarray size (512 in the paper).
+	SubarrayRows int
+	// CopyRows per subarray (8 by default in CROW).
+	CopyRows int
+	// TRH is the Rowhammer threshold; mitigation triggers at TRH/2.
+	TRH int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.SubarrayRows == 0 {
+		c.SubarrayRows = 512
+	}
+	if c.CopyRows == 0 {
+		c.CopyRows = 8
+	}
+	if c.TRH == 0 {
+		c.TRH = 1000
+	}
+}
+
+// Model tracks per-subarray copy-row consumption. Not safe for concurrent
+// use.
+type Model struct {
+	cfg  Config
+	geom dram.Geometry
+
+	// used[subarray] counts consumed copy rows.
+	used map[int]int
+	// counts tracks per-row activations within the epoch.
+	counts map[dram.Row]int64
+
+	mitigations int64
+	exhausted   int64 // aggressors that found no copy rows left
+}
+
+// New builds a CROW model over the geometry.
+func New(geom dram.Geometry, cfg Config) *Model {
+	cfg.fillDefaults()
+	if cfg.CopyRows < 2 {
+		panic("crowmodel: need at least two copy rows")
+	}
+	if cfg.SubarrayRows < cfg.CopyRows {
+		panic(fmt.Sprintf("crowmodel: subarray of %d rows cannot hold %d copy rows",
+			cfg.SubarrayRows, cfg.CopyRows))
+	}
+	return &Model{
+		cfg:    cfg,
+		geom:   geom,
+		used:   make(map[int]int),
+		counts: make(map[dram.Row]int64),
+	}
+}
+
+// SubarrayOf returns the global subarray index of a row.
+func (m *Model) SubarrayOf(row dram.Row) int {
+	return int(row) / m.cfg.SubarrayRows
+}
+
+// RecordACT counts one activation; when a row crosses TRH/2 it consumes
+// two copy rows in its subarray (the flanking victims are cloned). The
+// return value reports whether the aggressor was *protected*; false means
+// the subarray's copy rows were exhausted and the neighbourhood is
+// vulnerable.
+func (m *Model) RecordACT(row dram.Row) (mitigated, protected bool) {
+	m.counts[row]++
+	threshold := m.cfg.TRH / 2
+	if threshold < 1 {
+		threshold = 1
+	}
+	if m.counts[row]%threshold != 0 {
+		return false, true
+	}
+	sa := m.SubarrayOf(row)
+	if m.used[sa]+2 > m.cfg.CopyRows {
+		m.exhausted++
+		return true, false
+	}
+	m.used[sa] += 2
+	m.mitigations++
+	return true, true
+}
+
+// Exhausted returns the number of mitigations that failed for lack of copy
+// rows.
+func (m *Model) Exhausted() int64 { return m.exhausted }
+
+// Mitigations returns the number of successful copy-row mitigations.
+func (m *Model) Mitigations() int64 { return m.mitigations }
+
+// CopyRowsUsed returns the consumed copy rows in a subarray.
+func (m *Model) CopyRowsUsed(subarray int) int { return m.used[subarray] }
+
+// MaxAggressors returns how many aggressors one subarray can absorb.
+func (m *Model) MaxAggressors() int { return m.cfg.CopyRows / 2 }
+
+// ToleratedTRH returns the minimum Rowhammer threshold at which this
+// provisioning is secure against a single-subarray focused attack: with
+// ACTmax activations available per bank per window, an attacker can raise
+// ACTmax/(TRH/2) aggressors; security requires that number not to exceed
+// MaxAggressors.
+func (m *Model) ToleratedTRH(timing dram.Timing) int64 {
+	return timing.ACTMax() / int64(m.MaxAggressors())
+}
+
+// DRAMOverhead returns the copy-row fraction.
+func (m *Model) DRAMOverhead() float64 {
+	return float64(m.cfg.CopyRows) / float64(m.cfg.SubarrayRows)
+}
+
+// OnEpoch resets per-epoch state (counts and copy-row allocations; CROW
+// restores clones at refresh).
+func (m *Model) OnEpoch() {
+	clear(m.used)
+	clear(m.counts)
+	m.exhausted = 0
+}

@@ -1,0 +1,131 @@
+package crowmodel
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func testGeom() dram.Geometry {
+	return dram.Geometry{Banks: 2, RowsPerBank: 2048, RowBytes: 1024, LineBytes: 64}
+}
+
+func TestMitigationConsumesCopyRows(t *testing.T) {
+	m := New(testGeom(), Config{SubarrayRows: 512, CopyRows: 8, TRH: 20})
+	row := dram.Row(5)
+	var mitigated bool
+	for i := 0; i < 10; i++ {
+		mit, prot := m.RecordACT(row)
+		if mit {
+			mitigated = true
+			if !prot {
+				t.Fatal("first aggressor unprotected")
+			}
+		}
+	}
+	if !mitigated {
+		t.Fatal("no mitigation at threshold")
+	}
+	if m.CopyRowsUsed(m.SubarrayOf(row)) != 2 {
+		t.Fatalf("copy rows used = %d", m.CopyRowsUsed(m.SubarrayOf(row)))
+	}
+}
+
+func TestExhaustionAfterMaxAggressors(t *testing.T) {
+	m := New(testGeom(), Config{SubarrayRows: 512, CopyRows: 8, TRH: 20})
+	// 4 aggressors fit (8 copy rows / 2); the 5th in the same subarray is
+	// unprotected — the CROW security failure mode (Section VII-B).
+	for a := 0; a < 4; a++ {
+		for i := 0; i < 10; i++ {
+			if _, prot := m.RecordACT(dram.Row(a)); !prot {
+				t.Fatalf("aggressor %d unprotected too early", a)
+			}
+		}
+	}
+	var unprotected bool
+	for i := 0; i < 10; i++ {
+		if mit, prot := m.RecordACT(dram.Row(100)); mit && !prot {
+			unprotected = true
+		}
+	}
+	if !unprotected {
+		t.Fatal("5th aggressor should exhaust the copy rows")
+	}
+	if m.Exhausted() == 0 {
+		t.Fatal("exhaustion not counted")
+	}
+}
+
+func TestDifferentSubarraysIndependent(t *testing.T) {
+	m := New(testGeom(), Config{SubarrayRows: 512, CopyRows: 2, TRH: 20})
+	// One aggressor per subarray: each uses its own copy rows.
+	for sa := 0; sa < 3; sa++ {
+		row := dram.Row(sa * 512)
+		for i := 0; i < 10; i++ {
+			if mit, prot := m.RecordACT(row); mit && !prot {
+				t.Fatalf("subarray %d interfered", sa)
+			}
+		}
+	}
+}
+
+func TestToleratedTRHMatchesTable5(t *testing.T) {
+	timing := dram.DDR4()
+	cases := []struct {
+		copyRows int
+		loTRH    int64
+		hiTRH    int64
+	}{
+		{8, 330_000, 345_000}, // paper: 340K
+		{32, 82_000, 87_000},  // paper: 85K
+		{128, 20_500, 22_000}, // paper: 21.3K
+		{512, 5_100, 5_400},   // paper: 5.3K
+	}
+	for _, c := range cases {
+		m := New(testGeom(), Config{SubarrayRows: 512, CopyRows: c.copyRows, TRH: 1000})
+		got := m.ToleratedTRH(timing)
+		if got < c.loTRH || got > c.hiTRH {
+			t.Errorf("copyRows=%d: tolerated TRH = %d, want in [%d,%d]",
+				c.copyRows, got, c.loTRH, c.hiTRH)
+		}
+	}
+}
+
+func TestDRAMOverhead(t *testing.T) {
+	m := New(testGeom(), Config{SubarrayRows: 512, CopyRows: 512, TRH: 1000})
+	if m.DRAMOverhead() != 1.0 {
+		t.Fatalf("overhead = %g", m.DRAMOverhead())
+	}
+}
+
+func TestEpochRestoresCopyRows(t *testing.T) {
+	m := New(testGeom(), Config{SubarrayRows: 512, CopyRows: 2, TRH: 20})
+	for i := 0; i < 10; i++ {
+		m.RecordACT(dram.Row(1))
+	}
+	m.OnEpoch()
+	if m.CopyRowsUsed(0) != 0 {
+		t.Fatal("epoch did not restore copy rows")
+	}
+	for i := 0; i < 10; i++ {
+		if mit, prot := m.RecordACT(dram.Row(2)); mit && !prot {
+			t.Fatal("copy rows not reusable after epoch")
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { New(testGeom(), Config{SubarrayRows: 512, CopyRows: 1, TRH: 10}) },
+		func() { New(testGeom(), Config{SubarrayRows: 4, CopyRows: 8, TRH: 10}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,329 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGeom() Geometry {
+	return Geometry{Banks: 4, RowsPerBank: 256, RowBytes: 1024, LineBytes: 64}
+}
+
+func TestDDR4TimingValues(t *testing.T) {
+	tm := DDR4()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.TRC != 45*Nanosecond {
+		t.Errorf("tRC = %d", tm.TRC)
+	}
+	if tm.TREFW != 64*Millisecond {
+		t.Errorf("tREFW = %d", tm.TREFW)
+	}
+}
+
+func TestRowTransferTimeMatchesPaper(t *testing.T) {
+	tm := DDR4()
+	// Paper Section IV-D: 8KB row = 128 lines, ~685ns per transfer,
+	// 1.37us per migration.
+	if got := tm.RowTransferTime(128); got != 685*Nanosecond {
+		t.Fatalf("RowTransferTime(128) = %dns, want 685ns", got/Nanosecond)
+	}
+	if got := tm.MigrationTime(128); got != 1370*Nanosecond {
+		t.Fatalf("MigrationTime(128) = %dns, want 1370ns", got/Nanosecond)
+	}
+}
+
+func TestACTMaxMatchesPaper(t *testing.T) {
+	// Section II-B: ACTmax = tREFW(1 - tRFC/tREFI)/tRC ~= 1360K.
+	got := DDR4().ACTMax()
+	if got < 1_350_000 || got > 1_365_000 {
+		t.Fatalf("ACTMax = %d, want ~1.36M", got)
+	}
+}
+
+func TestTimingValidation(t *testing.T) {
+	tm := DDR4()
+	tm.TRC = 0
+	if err := tm.Validate(); err == nil {
+		t.Error("zero tRC accepted")
+	}
+	tm = DDR4()
+	tm.TRC = tm.TRCD // < tRCD+tRP
+	if err := tm.Validate(); err == nil {
+		t.Error("tRC < tRCD+tRP accepted")
+	}
+	tm = DDR4()
+	tm.TREFI = tm.TRFC
+	if err := tm.Validate(); err == nil {
+		t.Error("tREFI <= tRFC accepted")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if err := Baseline().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Geometry{Banks: 0, RowsPerBank: 1, RowBytes: 64, LineBytes: 64}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero banks accepted")
+	}
+	bad = Geometry{Banks: 1, RowsPerBank: 1, RowBytes: 100, LineBytes: 64}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-multiple row bytes accepted")
+	}
+}
+
+func TestBaselineGeometryMatchesTable1(t *testing.T) {
+	g := Baseline()
+	if g.Rows() != 2*1024*1024 {
+		t.Errorf("rows = %d, want 2M", g.Rows())
+	}
+	if g.CapacityBytes() != 16*(1<<30) {
+		t.Errorf("capacity = %d, want 16GB", g.CapacityBytes())
+	}
+	if g.LinesPerRow() != 128 {
+		t.Errorf("lines/row = %d", g.LinesPerRow())
+	}
+}
+
+func TestRowMappingRoundTrip(t *testing.T) {
+	g := testGeom()
+	check := func(bank, idx uint8) bool {
+		b := int(bank) % g.Banks
+		i := int(idx) % g.RowsPerBank
+		r := g.RowOf(b, i)
+		return g.BankOf(r) == b && g.IndexOf(r) == i && g.Contains(r)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowOfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	testGeom().RowOf(0, 256)
+}
+
+func TestNeighbors(t *testing.T) {
+	g := testGeom()
+	mid := g.RowOf(1, 100)
+	n := g.Neighbors(mid, 1)
+	if len(n) != 2 || n[0] != g.RowOf(1, 99) || n[1] != g.RowOf(1, 101) {
+		t.Fatalf("neighbors of (1,100): %v", n)
+	}
+	edge := g.RowOf(0, 0)
+	if n := g.Neighbors(edge, 1); len(n) != 1 || n[0] != g.RowOf(0, 1) {
+		t.Fatalf("neighbors of edge: %v", n)
+	}
+	if n := g.Neighbors(mid, 2); len(n) != 2 || n[0] != g.RowOf(1, 98) {
+		t.Fatalf("distance-2 neighbors: %v", n)
+	}
+}
+
+func TestAccessRowMissThenHit(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	row := r.Geometry().RowOf(0, 10)
+	done1, act1 := r.Access(row, false, 0)
+	if !act1 {
+		t.Fatal("first access did not activate")
+	}
+	// Miss latency: tRCD + tCL + tBL.
+	tm := r.Timing()
+	if want := tm.TRCD + tm.TCL + tm.TBL; done1 != want {
+		t.Fatalf("miss latency = %d, want %d", done1, want)
+	}
+	done2, act2 := r.Access(row, false, done1)
+	if act2 {
+		t.Fatal("row hit activated")
+	}
+	if done2 <= done1 {
+		t.Fatal("hit completed before issue")
+	}
+}
+
+func TestAccessConflictActivates(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	g := r.Geometry()
+	a, b := g.RowOf(0, 1), g.RowOf(0, 2)
+	r.Access(a, false, 0)
+	_, act := r.Access(b, false, 1000)
+	if !act {
+		t.Fatal("conflicting access did not activate")
+	}
+	if r.ActCount(a) != 1 || r.ActCount(b) != 1 {
+		t.Fatalf("act counts: %d, %d", r.ActCount(a), r.ActCount(b))
+	}
+	st := r.Stats()
+	if st.RowHits != 0 || st.RowMisses != 2 {
+		t.Fatalf("hits=%d misses=%d", st.RowHits, st.RowMisses)
+	}
+}
+
+func TestActToActSpacingEnforced(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	g := r.Geometry()
+	a, b := g.RowOf(0, 1), g.RowOf(0, 2)
+	r.Access(a, false, 0)
+	done, _ := r.Access(b, false, 0)
+	// The second ACT cannot start before tRC after the first, so data
+	// cannot complete before tRC + tRCD + tCL.
+	tm := r.Timing()
+	if done < tm.TRC {
+		t.Fatalf("second conflicting access done at %d < tRC %d", done, tm.TRC)
+	}
+}
+
+func TestDifferentBanksOverlap(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	g := r.Geometry()
+	d1, _ := r.Access(g.RowOf(0, 1), false, 0)
+	d2, _ := r.Access(g.RowOf(1, 1), false, 0)
+	// Bank-parallel accesses serialize only on the data bus (tBL), not
+	// the full row cycle.
+	if d2-d1 > r.Timing().TBL {
+		t.Fatalf("bank-parallel access serialized: %d then %d", d1, d2)
+	}
+}
+
+func TestListenerSeesActivations(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	var got []Row
+	r.Listen(func(row Row, _ PS) { got = append(got, row) })
+	a := r.Geometry().RowOf(2, 5)
+	r.Access(a, false, 0)
+	r.Access(a, false, 100000) // hit: no ACT
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("listener saw %v", got)
+	}
+}
+
+func TestStreamRowTiming(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	row := r.Geometry().RowOf(0, 3)
+	done := r.StreamRow(row, false, 0)
+	want := r.Timing().RowTransferTime(r.Geometry().LinesPerRow())
+	if done != want {
+		t.Fatalf("stream done at %d, want %d", done, want)
+	}
+	if r.ActCount(row) != 1 {
+		t.Fatal("stream did not activate the row")
+	}
+	if r.Stats().RowStreams != 1 {
+		t.Fatal("stream not counted")
+	}
+}
+
+func TestStreamBlocksBus(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	g := r.Geometry()
+	end := r.StreamRow(g.RowOf(0, 3), false, 0)
+	// An access to another bank issued during the stream must wait for
+	// the bus.
+	done, _ := r.Access(g.RowOf(1, 1), false, 0)
+	if done < end {
+		t.Fatalf("access completed during stream: %d < %d", done, end)
+	}
+}
+
+func TestRefreshBlocksAndCloses(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	g := r.Geometry()
+	r.Access(g.RowOf(0, 1), false, 0)
+	end := r.RefreshAll(100 * Nanosecond)
+	if end != 100*Nanosecond+r.Timing().TRFC {
+		t.Fatalf("refresh end = %d", end)
+	}
+	if _, open := r.OpenRow(0); open {
+		t.Fatal("refresh left a row open")
+	}
+	// Next access re-activates.
+	_, act := r.Access(g.RowOf(0, 1), false, end)
+	if !act {
+		t.Fatal("access after refresh did not activate")
+	}
+	if r.Stats().Refreshes != 1 {
+		t.Fatal("refresh not counted")
+	}
+}
+
+func TestReserveBlocksAllBanks(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	g := r.Geometry()
+	until := PS(5 * Microsecond)
+	r.Reserve(until)
+	for b := 0; b < g.Banks; b++ {
+		done, _ := r.Access(g.RowOf(b, 1), false, 0)
+		if done < until {
+			t.Fatalf("bank %d access completed at %d during reservation", b, done)
+		}
+	}
+}
+
+func TestPrechargeAll(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	g := r.Geometry()
+	r.Access(g.RowOf(0, 1), false, 0)
+	r.PrechargeAll(1 * Microsecond)
+	if _, open := r.OpenRow(0); open {
+		t.Fatal("row still open after PrechargeAll")
+	}
+}
+
+func TestAccessPanicsOutsideGeometry(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	r.Access(Row(testGeom().Rows()), false, 0)
+}
+
+func TestWriteDelaysPrecharge(t *testing.T) {
+	r := NewRank(testGeom(), DDR4())
+	g := r.Geometry()
+	a, b := g.RowOf(0, 1), g.RowOf(0, 2)
+	dw, _ := r.Access(a, true, 0)
+	// Opening another row must wait for write recovery.
+	done, _ := r.Access(b, false, dw)
+	tm := r.Timing()
+	if done < dw+tm.TWR {
+		t.Fatalf("conflict after write ignored tWR: %d < %d", done, dw+tm.TWR)
+	}
+}
+
+func TestInvalidRowSentinel(t *testing.T) {
+	if testGeom().Contains(InvalidRow) {
+		t.Fatal("InvalidRow must not be contained in any geometry")
+	}
+}
+
+func TestFourActivateWindow(t *testing.T) {
+	// Five back-to-back activations to five different banks: the fifth
+	// must wait for tFAW after the first, even though each bank is ready.
+	g := Geometry{Banks: 8, RowsPerBank: 64, RowBytes: 1024, LineBytes: 64}
+	tm := DDR4()
+	tm.TFAW = 200 * Nanosecond // exaggerate so the constraint dominates
+	r := NewRank(g, tm)
+	var actTimes []PS
+	r.Listen(func(_ Row, at PS) { actTimes = append(actTimes, at) })
+	for b := 0; b < 5; b++ {
+		r.Access(g.RowOf(b, 1), false, 0)
+	}
+	if len(actTimes) != 5 {
+		t.Fatalf("acts = %d", len(actTimes))
+	}
+	if actTimes[4]-actTimes[0] < tm.TFAW {
+		t.Fatalf("fifth ACT at %d, first at %d: tFAW %d violated",
+			actTimes[4], actTimes[0], tm.TFAW)
+	}
+	// The first four were not delayed by the window.
+	if actTimes[3]-actTimes[0] >= tm.TFAW {
+		t.Fatal("fourth ACT needlessly delayed")
+	}
+}

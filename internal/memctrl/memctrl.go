@@ -1,0 +1,174 @@
+// Package memctrl implements the memory controller: the component that
+// accepts line-granularity requests from the cores, routes them through
+// the mitigation scheme's indirection (FPT for AQUA, RIT for RRS), issues
+// them to the DRAM rank, schedules periodic refresh, and drives tracker
+// epochs.
+//
+// The controller is transaction-level: requests are processed in arrival
+// order and the rank's bank state machines resolve row hits, conflicts,
+// and bus contention. Channel reservation during row migrations — the
+// dominant cost of migration-based mitigations (Section IV-G) — is applied
+// by the mitigation engines through dram.Rank.Reserve and surfaces here as
+// queueing delay on subsequent requests.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/mitigation"
+)
+
+// Config parameterizes a controller.
+type Config struct {
+	// EpochLength is the tracker epoch (default tREFW = 64ms).
+	EpochLength dram.PS
+	// DisableRefresh turns off periodic refresh (micro-benchmarks only).
+	DisableRefresh bool
+	// IdleDrainInterval, when non-zero, gives the mitigation scheme a
+	// background-work opportunity (Drainer.OnIdle) at most once per
+	// interval, modelling work done while the channel is idle.
+	IdleDrainInterval dram.PS
+}
+
+// Drainer is the optional background-work hook a mitigation scheme may
+// implement (AQUA's proactive quarantine draining, Section IV-D).
+type Drainer interface {
+	// OnIdle performs at most one unit of background work at the given
+	// time and returns the channel time it consumed.
+	OnIdle(now dram.PS) dram.PS
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	Requests     int64
+	Reads        int64
+	Writes       int64
+	TotalLatency dram.PS // sum of (completion - arrival) over requests
+	MaxLatency   dram.PS
+	Refreshes    int64
+	Epochs       int64
+}
+
+// AvgLatency returns the mean request latency.
+func (s Stats) AvgLatency() dram.PS {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.TotalLatency / s.Requests
+}
+
+// Controller binds a rank to a mitigation scheme. Not safe for concurrent
+// use; the simulator is single-threaded.
+type Controller struct {
+	rank *dram.Rank
+	mit  mitigation.Mitigator
+	cfg  Config
+
+	nextRefresh dram.PS
+	nextEpoch   dram.PS
+	nextDrain   dram.PS
+	drainer     Drainer
+	now         dram.PS
+
+	stats Stats
+}
+
+// New builds a controller. A nil mitigator means the unprotected baseline.
+func New(rank *dram.Rank, mit mitigation.Mitigator, cfg Config) *Controller {
+	if mit == nil {
+		mit = mitigation.None{}
+	}
+	if cfg.EpochLength == 0 {
+		cfg.EpochLength = rank.Timing().TREFW
+	}
+	c := &Controller{
+		rank:        rank,
+		mit:         mit,
+		cfg:         cfg,
+		nextRefresh: rank.Timing().TREFI,
+		nextEpoch:   cfg.EpochLength,
+		nextDrain:   cfg.IdleDrainInterval,
+	}
+	if cfg.IdleDrainInterval > 0 {
+		c.drainer, _ = mit.(Drainer)
+	}
+	return c
+}
+
+// Rank returns the attached rank.
+func (c *Controller) Rank() *dram.Rank { return c.rank }
+
+// Mitigator returns the attached mitigation scheme.
+func (c *Controller) Mitigator() mitigation.Mitigator { return c.mit }
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Now returns the latest time the controller has advanced to.
+func (c *Controller) Now() dram.PS { return c.now }
+
+// StatsReset zeroes the counters (between warmup and measurement).
+func (c *Controller) StatsReset() { c.stats = Stats{} }
+
+// Advance processes background work (refresh commands, epoch boundaries)
+// up to the given time. Submit calls it implicitly.
+func (c *Controller) Advance(at dram.PS) {
+	if at < c.now {
+		panic(fmt.Sprintf("memctrl: time went backwards: %d then %d", c.now, at))
+	}
+	for {
+		switch {
+		case !c.cfg.DisableRefresh && c.nextRefresh <= at:
+			c.rank.RefreshAll(c.nextRefresh)
+			c.nextRefresh += c.rank.Timing().TREFI
+			c.stats.Refreshes++
+		case c.nextEpoch <= at:
+			c.mit.OnEpoch(c.nextEpoch)
+			c.nextEpoch += c.cfg.EpochLength
+			c.stats.Epochs++
+		case c.drainer != nil && c.nextDrain <= at:
+			// Background draining: the work happens "behind" the current
+			// request, modelling idle-channel use.
+			c.drainer.OnIdle(c.nextDrain)
+			c.nextDrain += c.cfg.IdleDrainInterval
+		default:
+			c.now = at
+			return
+		}
+	}
+}
+
+// Submit processes one line-granularity request to an install (software-
+// visible) row arriving at time `at`, and returns its completion time.
+// The request flows through: rate-limiter delay -> indirection lookup ->
+// DRAM access -> tracker accounting (which may trigger a mitigation that
+// reserves the channel before the completion is reported).
+func (c *Controller) Submit(row dram.Row, write bool, at dram.PS) dram.PS {
+	c.Advance(at)
+
+	issue := c.mit.Delay(row, at)
+	tr := c.mit.Translate(row, issue)
+	done, activated := c.rank.Access(tr.PhysRow, write, issue+tr.Latency)
+	if activated {
+		// Mitigative action (if triggered) reserves the channel; the
+		// triggering access itself has already completed.
+		c.mit.OnActivate(tr.PhysRow, done)
+	}
+
+	c.stats.Requests++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	lat := done - at
+	c.stats.TotalLatency += lat
+	if lat > c.stats.MaxLatency {
+		c.stats.MaxLatency = lat
+	}
+	return done
+}
+
+// EpochLength returns the configured tracker epoch.
+func (c *Controller) EpochLength() dram.PS { return c.cfg.EpochLength }

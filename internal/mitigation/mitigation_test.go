@@ -1,0 +1,64 @@
+package mitigation
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestNoneIsTransparent(t *testing.T) {
+	var n None
+	if n.Name() != "baseline" {
+		t.Fatal("name")
+	}
+	tr := n.Translate(dram.Row(42), 100)
+	if tr.PhysRow != 42 || tr.Latency != 0 || tr.Class != LookupNone {
+		t.Fatalf("translate = %+v", tr)
+	}
+	if n.Delay(1, 77) != 77 {
+		t.Fatal("delay")
+	}
+	if n.OnActivate(1, 0) != 0 {
+		t.Fatal("activate busy")
+	}
+	n.OnEpoch(0)
+	if s := n.Stats(); s.Mitigations != 0 {
+		t.Fatal("stats")
+	}
+}
+
+func TestLookupClassStrings(t *testing.T) {
+	want := map[LookupClass]string{
+		LookupNone:          "none",
+		LookupBloomFiltered: "bloom-filtered",
+		LookupCacheHit:      "fpt-cache-hit",
+		LookupSingleton:     "singleton",
+		LookupDRAM:          "dram",
+		LookupSRAM:          "sram",
+		LookupPinned:        "pinned",
+		LookupClass(99):     "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestTotalLookups(t *testing.T) {
+	var s Stats
+	s.Lookups[LookupSRAM] = 3
+	s.Lookups[LookupDRAM] = 4
+	if s.TotalLookups() != 7 {
+		t.Fatalf("total = %d", s.TotalLookups())
+	}
+}
+
+func TestNumLookupClassesCoversAll(t *testing.T) {
+	// Guard against adding a class without extending the stats array.
+	for c := LookupClass(0); c < NumLookupClasses; c++ {
+		if c.String() == "unknown" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+}

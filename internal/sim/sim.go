@@ -1,0 +1,355 @@
+// Package sim binds the pieces into a runnable system — rank, memory
+// controller, mitigation engine, interval-model cores, security monitor —
+// and provides the experiment harness used to regenerate the paper's
+// figures: build a baseline and a mitigated system over identical request
+// streams, run both, and report normalized IPC, migrations per 64ms, and
+// the FPT-lookup breakdown.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/blockhammer"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/power"
+	"repro/internal/rrs"
+	"repro/internal/security"
+	"repro/internal/tracker"
+	"repro/internal/vrefresh"
+	"repro/internal/workload"
+)
+
+// Scheme names a mitigation configuration the harness can instantiate.
+type Scheme int
+
+const (
+	// SchemeBaseline runs unprotected.
+	SchemeBaseline Scheme = iota
+	// SchemeAquaSRAM is AQUA with SRAM tables (Section IV).
+	SchemeAquaSRAM
+	// SchemeAquaMemMapped is AQUA with memory-mapped tables (Section V).
+	SchemeAquaMemMapped
+	// SchemeRRS is Randomized Row-Swap.
+	SchemeRRS
+	// SchemeBlockhammer is the rate-limiting baseline.
+	SchemeBlockhammer
+	// SchemeVictimRefresh refreshes distance-1 neighbours.
+	SchemeVictimRefresh
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "baseline"
+	case SchemeAquaSRAM:
+		return "aqua-sram"
+	case SchemeAquaMemMapped:
+		return "aqua-memmapped"
+	case SchemeRRS:
+		return "rrs"
+	case SchemeBlockhammer:
+		return "blockhammer"
+	case SchemeVictimRefresh:
+		return "victim-refresh"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a system build.
+type Config struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	// TRH is the Rowhammer threshold handed to the mitigation.
+	TRH int64
+	// Scheme selects the mitigation.
+	Scheme Scheme
+	// Cores is the core count (default 4).
+	Cores int
+	// CoreCfg tunes the interval cores.
+	CoreCfg cpu.Config
+	// EpochLength overrides the tracker epoch (default tREFW).
+	EpochLength dram.PS
+	// Monitor attaches a security monitor at the given threshold when
+	// true.
+	Monitor bool
+	// Seed drives scheme randomization.
+	Seed uint64
+	// Tracker selects the aggressor tracker for AQUA/RRS/victim-refresh
+	// (default Misra-Gries, the paper's baseline).
+	Tracker TrackerKind
+	// BloomGroupSize and FPTCacheEntries override AQUA's memory-mapped
+	// structures for the Section V-F sensitivity study (0 = paper
+	// defaults: groups of 16 and 4K entries).
+	BloomGroupSize  int
+	FPTCacheEntries int
+	// ProactiveDrain enables AQUA's background draining (Section IV-D),
+	// serviced by the controller every IdleDrainInterval (default 10us
+	// when enabled).
+	ProactiveDrain bool
+}
+
+// TrackerKind selects an aggressor-tracker implementation.
+type TrackerKind int
+
+const (
+	// TrackerMisraGries is the Graphene-style per-bank tracker (default).
+	TrackerMisraGries TrackerKind = iota
+	// TrackerHydra is the storage-optimized hybrid tracker (Appendix B's
+	// AQUA-Hydra configuration).
+	TrackerHydra
+	// TrackerExact is the idealized exact tracker.
+	TrackerExact
+)
+
+// build constructs a tracker for the given effective threshold.
+func (k TrackerKind) build(geom dram.Geometry, timing dram.Timing, threshold int64) tracker.Tracker {
+	switch k {
+	case TrackerMisraGries:
+		return nil // let the engine provision its default
+	case TrackerHydra:
+		return tracker.NewHydra(geom, threshold, 128)
+	case TrackerExact:
+		return tracker.NewExact(geom, threshold)
+	default:
+		panic(fmt.Sprintf("sim: unknown tracker kind %d", k))
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Geometry == (dram.Geometry{}) {
+		c.Geometry = dram.Baseline()
+	}
+	if c.Timing == (dram.Timing{}) {
+		c.Timing = dram.DDR4()
+	}
+	if c.TRH == 0 {
+		c.TRH = 1000
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+}
+
+// System is one fully wired simulation instance.
+type System struct {
+	Cfg     Config
+	Rank    *dram.Rank
+	Ctrl    *memctrl.Controller
+	Mit     mitigation.Mitigator
+	Monitor *security.Monitor
+	Cores   []*cpu.Core
+
+	// Aqua is non-nil when the scheme is an AQUA variant (for breakdown
+	// and layout queries).
+	Aqua *core.Engine
+}
+
+// VisibleRegion returns the software-visible address region for a
+// configuration, consistent across all schemes *and thresholds* so that
+// workloads touch identical rows everywhere: the region excludes the rows
+// the most demanding layout would reserve — AQUA's memory-mapped mode at
+// an effective threshold of 1, whose RQA is the Table III maximum (2.2% of
+// memory).
+func VisibleRegion(cfg Config) workload.Region {
+	cfg.fillDefaults()
+	probeRank := dram.NewRank(cfg.Geometry, cfg.Timing)
+	probe := core.New(probeRank, core.Config{TRH: 2, Mode: core.ModeMemMapped})
+	return workload.Region{Geom: cfg.Geometry, VisibleRowsPerBank: probe.VisibleRowsPerBank()}
+}
+
+// NewSystem wires a system; streams[i] drives core i. len(streams) must
+// equal cfg.Cores.
+func NewSystem(cfg Config, streams []cpu.Stream) *System {
+	cfg.fillDefaults()
+	if len(streams) != cfg.Cores {
+		panic(fmt.Sprintf("sim: %d streams for %d cores", len(streams), cfg.Cores))
+	}
+	rank := dram.NewRank(cfg.Geometry, cfg.Timing)
+
+	s := &System{Cfg: cfg, Rank: rank}
+	if cfg.Monitor {
+		s.Monitor = security.NewMonitor(int(cfg.TRH), cfg.Timing.TREFW)
+		s.Monitor.Attach(rank)
+	}
+
+	aquaCfg := func(mode core.Mode) core.Config {
+		trh := cfg.TRH
+		return core.Config{
+			TRH:             trh,
+			Mode:            mode,
+			Seed:            cfg.Seed,
+			Tracker:         cfg.Tracker.build(cfg.Geometry, cfg.Timing, max64(trh/2, 1)),
+			BloomGroupSize:  cfg.BloomGroupSize,
+			FPTCacheEntries: cfg.FPTCacheEntries,
+			ProactiveDrain:  cfg.ProactiveDrain,
+		}
+	}
+	switch cfg.Scheme {
+	case SchemeBaseline:
+		s.Mit = mitigation.None{}
+	case SchemeAquaSRAM:
+		s.Aqua = core.New(rank, aquaCfg(core.ModeSRAM))
+		s.Mit = s.Aqua
+	case SchemeAquaMemMapped:
+		s.Aqua = core.New(rank, aquaCfg(core.ModeMemMapped))
+		s.Mit = s.Aqua
+	case SchemeRRS:
+		s.Mit = rrs.New(rank, rrs.Config{
+			TRH: cfg.TRH, Seed: cfg.Seed,
+			Tracker: cfg.Tracker.build(cfg.Geometry, cfg.Timing, max64(cfg.TRH/rrs.SwapDivisor, 1)),
+		})
+	case SchemeBlockhammer:
+		s.Mit = blockhammer.New(rank, blockhammer.Config{TRH: cfg.TRH})
+	case SchemeVictimRefresh:
+		s.Mit = vrefresh.New(rank, vrefresh.Config{
+			TRH:     cfg.TRH,
+			Tracker: cfg.Tracker.build(cfg.Geometry, cfg.Timing, max64(cfg.TRH/2, 1)),
+		})
+	default:
+		panic(fmt.Sprintf("sim: unknown scheme %d", cfg.Scheme))
+	}
+
+	ctrlCfg := memctrl.Config{EpochLength: cfg.EpochLength}
+	if cfg.ProactiveDrain {
+		ctrlCfg.IdleDrainInterval = 10 * dram.Microsecond
+	}
+	s.Ctrl = memctrl.New(rank, s.Mit, ctrlCfg)
+	s.Cores = make([]*cpu.Core, cfg.Cores)
+	for i := range s.Cores {
+		s.Cores[i] = cpu.New(i, streams[i], cfg.CoreCfg)
+	}
+	return s
+}
+
+// Result summarizes one run.
+type Result struct {
+	Scheme   Scheme
+	SimTime  dram.PS
+	Instr    int64
+	Requests int64
+	// IPC is the aggregate instructions per core-cycle (sum of instr over
+	// elapsed cycles, divided by core count).
+	IPC       float64
+	MitStats  mitigation.Stats
+	CtrlStats memctrl.Stats
+	// MigrationsPer64ms scales the observed row migrations to the paper's
+	// per-refresh-window metric.
+	MigrationsPer64ms float64
+	// Violated reports whether the security monitor observed any row
+	// crossing T_RH (always false without a monitor).
+	Violated bool
+	// MaxWindowACTs is the peak sliding-window activation count the
+	// monitor saw on any hot row.
+	MaxWindowACTs int
+	// DRAMPowerMW is the IDD-model DRAM power estimate for the run
+	// (Section V-H methodology).
+	DRAMPowerMW float64
+}
+
+// Run drives the system until all cores finish or simulated time exceeds
+// `until` (0 = no limit), and returns the result.
+func (s *System) Run(until dram.PS) Result {
+	for {
+		// Pick the core with the earliest ready request.
+		best := -1
+		var bestT dram.PS
+		for i, c := range s.Cores {
+			if t, ok := c.NextIssueTime(); ok && (best < 0 || t < bestT) {
+				best, bestT = i, t
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if until > 0 && bestT > until {
+			break
+		}
+		s.Cores[best].Issue(bestT, s.Ctrl.Submit)
+	}
+	return s.result(until)
+}
+
+func (s *System) result(until dram.PS) Result {
+	var end dram.PS
+	var instr int64
+	for _, c := range s.Cores {
+		if c.FinishTime() > end {
+			end = c.FinishTime()
+		}
+		instr += c.InstrRetired()
+	}
+	if until > 0 && end > until {
+		end = until
+	}
+	res := Result{
+		Scheme:    s.Cfg.Scheme,
+		SimTime:   end,
+		Instr:     instr,
+		Requests:  s.Ctrl.Stats().Requests,
+		MitStats:  s.Mit.Stats(),
+		CtrlStats: s.Ctrl.Stats(),
+	}
+	if end > 0 {
+		freq := float64(s.Cfg.CoreCfg.FreqHz)
+		if freq == 0 {
+			freq = 3e9
+		}
+		cycles := float64(end) / 1e12 * freq
+		res.IPC = float64(instr) / cycles / float64(len(s.Cores))
+		res.MigrationsPer64ms = float64(res.MitStats.RowMigrations) *
+			float64(64*dram.Millisecond) / float64(end)
+	}
+	if s.Monitor != nil {
+		res.Violated = s.Monitor.Violated()
+		_, res.MaxWindowACTs = s.Monitor.MaxWindowCount()
+	}
+	if end > 0 {
+		res.DRAMPowerMW = power.FromStats(power.MicronDDR4(), s.Cfg.Timing, s.Rank.Stats(), end).Total()
+	}
+	return res
+}
+
+// WorkloadStreams builds per-core streams for a SPEC rate workload: every
+// core runs its own copy (its own hot rows), sized to reqsPerCore
+// requests.
+func WorkloadStreams(spec workload.Spec, region workload.Region, cores int, reqsPerCore int64, seed uint64, params workload.Params) []cpu.Stream {
+	streams := make([]cpu.Stream, cores)
+	for i := 0; i < cores; i++ {
+		gen := workload.NewGenerator(spec, region, i, seed, params)
+		streams[i] = gen.Stream(reqsPerCore, seed+uint64(i)*7919)
+	}
+	return streams
+}
+
+// MixStreams builds per-core streams for a mixed workload.
+func MixStreams(mix [4]workload.Spec, region workload.Region, reqsPerCore int64, seed uint64, params workload.Params) []cpu.Stream {
+	streams := make([]cpu.Stream, len(mix))
+	for i, spec := range mix {
+		gen := workload.NewGenerator(spec, region, i, seed, params)
+		streams[i] = gen.Stream(reqsPerCore, seed+uint64(i)*7919)
+	}
+	return streams
+}
+
+// ReqsForInstructions converts a per-core instruction budget into the
+// request count for a workload's MPKI.
+func ReqsForInstructions(spec workload.Spec, instrPerCore int64) int64 {
+	n := int64(float64(instrPerCore) * spec.MPKI / 1000)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); !almostEqual(g, 4) {
+		t.Fatalf("Geomean(2,8) = %g, want 4", g)
+	}
+	if g := Geomean([]float64{5}); !almostEqual(g, 5) {
+		t.Fatalf("Geomean(5) = %g", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %g, want 0", g)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero value")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	check := func(raw []uint16) bool {
+		var xs []float64
+		for _, v := range raw {
+			xs = append(xs, float64(v)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if m := Mean(xs); !almostEqual(m, 2.8) {
+		t.Errorf("Mean = %g", m)
+	}
+	if m := Min(xs); m != 1 {
+		t.Errorf("Min = %g", m)
+	}
+	if m := Max(xs); m != 5 {
+		t.Errorf("Max = %g", m)
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty-slice aggregates should be 0")
+	}
+}
+
+func TestMeanInt(t *testing.T) {
+	if m := MeanInt([]int64{1, 2, 3, 4}); !almostEqual(m, 2.5) {
+		t.Errorf("MeanInt = %g", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %g", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("P100 = %g", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Errorf("P50 = %g", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Errorf("P25 = %g", p)
+	}
+	// Input must not be reordered.
+	if xs[0] != 1 || xs[4] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int64{166, 500, 1000})
+	for _, v := range []int64{10, 200, 600, 1500, 499, 1000} {
+		h.Add(v)
+	}
+	if u := h.Underflow(); u != 1 {
+		t.Errorf("underflow = %d", u)
+	}
+	if c := h.Count(0); c != 2 { // [166,500): 200, 499
+		t.Errorf("bucket[166,500) = %d", c)
+	}
+	if c := h.Count(1); c != 1 { // [500,1000): 600
+		t.Errorf("bucket[500,1000) = %d", c)
+	}
+	if c := h.Count(2); c != 2 { // [1000,inf): 1500, 1000
+		t.Errorf("bucket[1000,) = %d", c)
+	}
+	if c := h.CumulativeAtLeast(500); c != 3 {
+		t.Errorf("cumulative >=500 = %d", c)
+	}
+	if c := h.CumulativeAtLeast(166); c != 5 {
+		t.Errorf("cumulative >=166 = %d", c)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Count(0) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestHistogramCumulativeInvariant(t *testing.T) {
+	check := func(raw []uint16) bool {
+		h := NewHistogram([]int64{100, 1000, 10000})
+		for _, v := range raw {
+			h.Add(int64(v))
+		}
+		// Cumulative counts must be monotonically non-increasing.
+		c1 := h.CumulativeAtLeast(100)
+		c2 := h.CumulativeAtLeast(1000)
+		c3 := h.CumulativeAtLeast(10000)
+		return c1 >= c2 && c2 >= c3 && c1+h.Underflow() == h.Total()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram([]int64{10, 10})
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "Name", "Value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Error("missing rows")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: all data lines equal width or less than header rule.
+	if len(lines[1]) > len(lines[2]) {
+		t.Error("rule shorter than header")
+	}
+}
+
+func TestTableMissingAndExtraCells(t *testing.T) {
+	tab := NewTable("", "A", "B")
+	tab.AddRow("only")
+	tab.AddRow("x", "y", "dropped")
+	out := tab.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if s := FormatFloat(3.0); s != "3" {
+		t.Errorf("FormatFloat(3.0) = %q", s)
+	}
+	if s := FormatPercent(0.021); s != "2.1%" {
+		t.Errorf("FormatPercent = %q", s)
+	}
+	if v := NormalizedSlowdown(0.8); !almostEqual(v, 0.25) {
+		t.Errorf("NormalizedSlowdown(0.8) = %g", v)
+	}
+}

@@ -1,0 +1,363 @@
+// Package tracker implements aggressor-row trackers: the structures that
+// watch DRAM activations and flag rows whose activation count crosses the
+// mitigation threshold within an epoch.
+//
+// AQUA is tracker-agnostic (Section IV-B); this package provides the three
+// designs the paper discusses:
+//
+//   - MisraGries: the per-bank Misra-Gries frequent-elements tracker used by
+//     Graphene and RRS, including the spill-counter behaviour that causes
+//     the spurious mitigations the paper observes (Section IV-F).
+//   - Hydra: a storage-optimized hybrid tracker in the spirit of Hydra —
+//     small SRAM group counters backed by exact per-row counters that are
+//     materialized (conceptually in DRAM) only when a group gets hot.
+//   - Exact: a reference tracker with one exact counter per row, used to
+//     validate the others and for security proofs in tests.
+//
+// All trackers share the same contract: RecordACT is invoked once per row
+// activation with the *physical* row (after any FPT indirection, per
+// security property P3) and returns true each time the row's estimated
+// count reaches a fresh multiple of the threshold, at which point the
+// mitigation engine must act.
+package tracker
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// Tracker observes activations and flags aggressor rows.
+type Tracker interface {
+	// RecordACT records one activation of a physical row and reports
+	// whether the row has just crossed a (multiple of the) threshold and
+	// therefore requires mitigation.
+	RecordACT(row dram.Row) bool
+	// Reset clears per-epoch state. Called every tracker epoch (the paper
+	// resets at every 64ms refresh interval).
+	Reset()
+	// SRAMBytes returns the tracker's SRAM footprint for storage accounting.
+	SRAMBytes() int
+	// Name identifies the tracker in reports.
+	Name() string
+}
+
+// entry is one Misra-Gries table slot.
+type entry struct {
+	row   dram.Row
+	count int64
+}
+
+// MisraGries is a per-bank Misra-Gries (Graphene-style) tracker. Each bank
+// owns a small table of (row, counter) pairs organised as a min-heap on the
+// counter, plus a spill counter. The Misra-Gries invariant — every row's
+// estimated count is at least its true count — guarantees that any row
+// activated `threshold` times in an epoch is flagged, provided the table
+// has at least ACTmax/threshold entries per bank.
+//
+// Faithful quirk: a newly installed row inherits the spill counter value,
+// so its estimated count starts above its true count; sufficiently active
+// banks therefore trigger occasional *spurious* mitigations exactly as the
+// paper reports for workloads like imagick (Section IV-F).
+type MisraGries struct {
+	geom      dram.Geometry
+	threshold int64
+	capacity  int
+	banks     []mgBank
+}
+
+type mgBank struct {
+	heap  []entry          // min-heap on count
+	index map[dram.Row]int // row -> heap position
+	spill int64
+}
+
+// NewMisraGries builds a tracker that flags rows every `threshold`
+// activations. entriesPerBank is sized so the Misra-Gries guarantee holds:
+// the canonical provisioning is ACTmax/threshold entries (use
+// ProvisionEntries).
+func NewMisraGries(geom dram.Geometry, threshold int64, entriesPerBank int) *MisraGries {
+	if threshold < 1 {
+		panic("tracker: threshold must be >= 1")
+	}
+	if entriesPerBank < 1 {
+		panic("tracker: need at least one entry per bank")
+	}
+	t := &MisraGries{
+		geom:      geom,
+		threshold: threshold,
+		capacity:  entriesPerBank,
+		banks:     make([]mgBank, geom.Banks),
+	}
+	for i := range t.banks {
+		t.banks[i] = mgBank{
+			heap:  make([]entry, 0, entriesPerBank),
+			index: make(map[dram.Row]int, entriesPerBank),
+		}
+	}
+	return t
+}
+
+// heap helpers: min-heap on count with the index map kept in sync.
+
+func (b *mgBank) swap(i, j int) {
+	b.heap[i], b.heap[j] = b.heap[j], b.heap[i]
+	b.index[b.heap[i].row] = i
+	b.index[b.heap[j].row] = j
+}
+
+func (b *mgBank) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.heap[parent].count <= b.heap[i].count {
+			return
+		}
+		b.swap(i, parent)
+		i = parent
+	}
+}
+
+func (b *mgBank) siftDown(i int) {
+	n := len(b.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && b.heap[left].count < b.heap[smallest].count {
+			smallest = left
+		}
+		if right < n && b.heap[right].count < b.heap[smallest].count {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		b.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// ProvisionEntries returns the per-bank Misra-Gries table size required to
+// guarantee detection of every row reaching `threshold` activations within
+// an epoch, given the bank's activation budget.
+func ProvisionEntries(timing dram.Timing, threshold int64) int {
+	if threshold < 1 {
+		panic("tracker: threshold must be >= 1")
+	}
+	n := timing.ACTMax() / threshold
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// Name implements Tracker.
+func (t *MisraGries) Name() string { return "misra-gries" }
+
+// Threshold returns the per-epoch flagging threshold.
+func (t *MisraGries) Threshold() int64 { return t.threshold }
+
+// RecordACT implements Tracker.
+func (t *MisraGries) RecordACT(row dram.Row) bool {
+	b := &t.banks[t.geom.BankOf(row)]
+	if pos, ok := b.index[row]; ok {
+		b.heap[pos].count++
+		newCount := b.heap[pos].count
+		b.siftDown(pos)
+		return newCount%t.threshold == 0
+	}
+	if len(b.heap) < t.capacity {
+		// Free slot: install with the spill counter inherited, which may
+		// immediately cross the threshold (the spurious-mitigation path).
+		c := b.spill + 1
+		b.heap = append(b.heap, entry{row: row, count: c})
+		b.index[row] = len(b.heap) - 1
+		b.siftUp(len(b.heap) - 1)
+		return c%t.threshold == 0
+	}
+	// Table full: bump the spill counter; once it catches up with the
+	// minimum tracked count, the minimum entry and the spill counter
+	// exchange roles (Graphene's swap rule): the new row is installed
+	// with the spill value as its count, and the evicted entry's count
+	// becomes the new spill value. The exchange keeps the Misra-Gries
+	// sum invariant (sum of counters + spill <= total ACTs + capacity),
+	// which bounds the spill by ~ACTs/capacity and yields the detection
+	// guarantee.
+	b.spill++
+	if b.spill >= b.heap[0].count {
+		evicted := b.heap[0].count
+		delete(b.index, b.heap[0].row)
+		c := b.spill
+		b.heap[0] = entry{row: row, count: c}
+		b.index[row] = 0
+		b.siftDown(0)
+		b.spill = evicted
+		return c%t.threshold == 0
+	}
+	return false
+}
+
+// Reset implements Tracker.
+func (t *MisraGries) Reset() {
+	for i := range t.banks {
+		b := &t.banks[i]
+		b.heap = b.heap[:0]
+		b.spill = 0
+		clear(b.index)
+	}
+}
+
+// EstimatedCount returns the tracker's current estimate for a row (0 if
+// untracked); exposed for tests.
+func (t *MisraGries) EstimatedCount(row dram.Row) int64 {
+	b := &t.banks[t.geom.BankOf(row)]
+	if pos, ok := b.index[row]; ok {
+		return b.heap[pos].count
+	}
+	return 0
+}
+
+// Spill returns the current spill counter of the row's bank; exposed for
+// tests of the Misra-Gries invariant.
+func (t *MisraGries) Spill(bank int) int64 { return t.banks[bank].spill }
+
+// SRAMBytes implements Tracker: per entry one row tag (log2 rowsPerBank
+// bits, rounded up) plus a counter, per bank, matching the ~396KB/rank the
+// paper charges the MG tracker at threshold 500 (Appendix B).
+func (t *MisraGries) SRAMBytes() int {
+	perEntry := 5 // 21-bit row tag + ~19-bit counter, rounded up to 5 bytes
+	return t.capacity * perEntry * len(t.banks)
+}
+
+// Exact tracks every row with an exact counter. It is the reference
+// implementation used to validate guarantee properties; its SRAM cost would
+// be impractical in hardware.
+type Exact struct {
+	threshold int64
+	counts    []int64
+}
+
+// NewExact builds an exact tracker over the geometry.
+func NewExact(geom dram.Geometry, threshold int64) *Exact {
+	if threshold < 1 {
+		panic("tracker: threshold must be >= 1")
+	}
+	return &Exact{threshold: threshold, counts: make([]int64, geom.Rows())}
+}
+
+// Name implements Tracker.
+func (t *Exact) Name() string { return "exact" }
+
+// RecordACT implements Tracker.
+func (t *Exact) RecordACT(row dram.Row) bool {
+	t.counts[row]++
+	return t.counts[row]%t.threshold == 0
+}
+
+// Reset implements Tracker.
+func (t *Exact) Reset() {
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+}
+
+// Count returns the exact per-epoch count for a row.
+func (t *Exact) Count(row dram.Row) int64 { return t.counts[row] }
+
+// SRAMBytes implements Tracker.
+func (t *Exact) SRAMBytes() int { return len(t.counts) * 3 }
+
+// Hydra is a storage-optimized hybrid tracker in the spirit of Qureshi et
+// al.'s Hydra: a small SRAM table of *group* counters covers all rows; when
+// a group's shared counter crosses a fraction of the threshold, the group
+// is "split" and exact per-row counters are materialized (in DRAM in the
+// real design; here the DRAM residency only affects the storage accounting
+// and a per-access latency charge recorded in stats).
+type Hydra struct {
+	threshold  int64
+	groupShift uint // rows per group = 1<<groupShift
+	groups     []int64
+	split      map[dram.Row]int64 // materialized per-row counters
+	// splitSeed records the group counter value at split time; every
+	// member row's counter is lazily seeded with it (a sound
+	// over-approximation of the row's pre-split count).
+	splitSeed map[uint32]int64
+	// DRAMLookups counts accesses that had to consult the in-DRAM row
+	// counters (a proxy for Hydra's extra memory traffic).
+	DRAMLookups int64
+}
+
+// NewHydra builds a Hydra-like tracker. groupSize must be a power of two.
+func NewHydra(geom dram.Geometry, threshold int64, groupSize int) *Hydra {
+	if threshold < 2 {
+		panic("tracker: hydra threshold must be >= 2")
+	}
+	if groupSize < 1 || groupSize&(groupSize-1) != 0 {
+		panic("tracker: hydra group size must be a positive power of two")
+	}
+	shift := uint(0)
+	for 1<<shift != groupSize {
+		shift++
+	}
+	nGroups := (geom.Rows() + groupSize - 1) / groupSize
+	return &Hydra{
+		threshold:  threshold,
+		groupShift: shift,
+		groups:     make([]int64, nGroups),
+		split:      make(map[dram.Row]int64),
+		splitSeed:  make(map[uint32]int64),
+	}
+}
+
+// Name implements Tracker.
+func (t *Hydra) Name() string { return "hydra" }
+
+func (t *Hydra) groupOf(row dram.Row) uint32 { return uint32(row) >> t.groupShift }
+
+// RecordACT implements Tracker. The group counter over-approximates each
+// member row's count, so splitting at threshold/2 preserves the guarantee:
+// a row can never reach `threshold` without its group having split first,
+// after which it is tracked with a per-row counter seeded from the group
+// count (est >= true, so a flag always fires at or before the true count
+// reaches the threshold).
+func (t *Hydra) RecordACT(row dram.Row) bool {
+	g := t.groupOf(row)
+	if seed, isSplit := t.splitSeed[g]; isSplit {
+		t.DRAMLookups++
+		c, tracked := t.split[row]
+		if !tracked {
+			c = seed // lazy seeding with the split-time group count
+		}
+		c++
+		t.split[row] = c
+		return c%t.threshold == 0
+	}
+	t.groups[g]++
+	if t.groups[g] >= t.threshold/2 {
+		// Split: per-row counters take over from here.
+		t.splitSeed[g] = t.groups[g]
+		t.DRAMLookups++
+		t.split[row] = t.groups[g]
+		return t.split[row]%t.threshold == 0
+	}
+	return false
+}
+
+// Reset implements Tracker.
+func (t *Hydra) Reset() {
+	for i := range t.groups {
+		t.groups[i] = 0
+	}
+	clear(t.split)
+	clear(t.splitSeed)
+	t.DRAMLookups = 0
+}
+
+// SRAMBytes implements Tracker: 2 bytes per group counter (the in-DRAM row
+// counters are excluded, as in the paper's Table VII which charges Hydra
+// 28.3KB SRAM).
+func (t *Hydra) SRAMBytes() int { return len(t.groups) * 2 }
+
+// String summarises a tracker for logs.
+func Describe(t Tracker) string {
+	return fmt.Sprintf("%s (%d KB SRAM)", t.Name(), t.SRAMBytes()/1024)
+}

@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+)
+
+func testRegion() Region {
+	return Region{
+		Geom:               dram.Geometry{Banks: 4, RowsPerBank: 1024, RowBytes: 1024, LineBytes: 64},
+		VisibleRowsPerBank: 1000,
+	}
+}
+
+func TestSpecTableIntegrity(t *testing.T) {
+	specs := SPEC17()
+	if len(specs) != 18 {
+		t.Fatalf("%d SPEC workloads, want 18", len(specs))
+	}
+	seen := make(map[string]bool)
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.MPKI <= 0 {
+			t.Errorf("%s: MPKI %g", s.Name, s.MPKI)
+		}
+		// Tiers are cumulative: 166+ includes 500+ includes 1K+.
+		if s.Rows500 > s.Rows166 || s.Rows1K > s.Rows500 {
+			t.Errorf("%s: non-cumulative tiers %d/%d/%d", s.Name, s.Rows166, s.Rows500, s.Rows1K)
+		}
+	}
+	// Spot-check Table II anchor rows.
+	if lbm, _ := ByName("lbm"); lbm.MPKI != 20.9 || lbm.Rows500 != 5437 {
+		t.Errorf("lbm spec drifted: %+v", lbm)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName found a ghost")
+	}
+}
+
+func TestMixesDeterministicAndComplete(t *testing.T) {
+	a, b := Mixes(), Mixes()
+	if len(a) != 16 {
+		t.Fatalf("%d mixes, want 16", len(a))
+	}
+	for i := range a {
+		if MixName(i, a[i]) != MixName(i, b[i]) {
+			t.Fatal("mixes not deterministic")
+		}
+		for c := 0; c < 4; c++ {
+			if a[i][c].MPKI <= 0 {
+				t.Fatalf("mix %d core %d empty", i, c)
+			}
+		}
+	}
+}
+
+func TestRegionMapping(t *testing.T) {
+	r := testRegion()
+	if r.VisibleRows() != 4000 {
+		t.Fatalf("visible rows = %d", r.VisibleRows())
+	}
+	seen := make(map[dram.Row]bool)
+	for i := 0; i < r.VisibleRows(); i++ {
+		row := r.RowAt(i)
+		if seen[row] {
+			t.Fatalf("RowAt not injective at %d", i)
+		}
+		seen[row] = true
+		if idx := r.Geom.IndexOf(row); idx >= r.VisibleRowsPerBank {
+			t.Fatalf("row %d outside visible strip (idx %d)", row, idx)
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	spec, _ := ByName("gcc")
+	gen1 := NewGenerator(spec, testRegion(), 0, 42, Params{})
+	gen2 := NewGenerator(spec, testRegion(), 0, 42, Params{})
+	s1, s2 := gen1.Stream(500, 7), gen2.Stream(500, 7)
+	for i := 0; i < 500; i++ {
+		r1, ok1 := s1.Next()
+		r2, ok2 := s2.Next()
+		if ok1 != ok2 || r1 != r2 {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, r1, r2)
+		}
+	}
+}
+
+func TestStreamEndsAfterN(t *testing.T) {
+	spec, _ := ByName("xz")
+	gen := NewGenerator(spec, testRegion(), 0, 1, Params{})
+	s := gen.Stream(10, 1)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("stream yielded %d", n)
+	}
+}
+
+func TestStreamStaysInRegion(t *testing.T) {
+	check := func(seed uint64) bool {
+		spec, _ := ByName("mcf")
+		region := testRegion()
+		gen := NewGenerator(spec, region, int(seed%4), seed, Params{})
+		s := gen.Stream(300, seed)
+		for {
+			req, ok := s.Next()
+			if !ok {
+				return true
+			}
+			if !region.Geom.Contains(req.Row) {
+				return false
+			}
+			if region.Geom.IndexOf(req.Row) >= region.VisibleRowsPerBank {
+				return false
+			}
+			if req.GapInstr < 1 {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapMatchesMPKI(t *testing.T) {
+	spec, _ := ByName("gcc") // MPKI 6.32 -> mean gap ~158
+	gen := NewGenerator(spec, testRegion(), 0, 3, Params{})
+	s := gen.Stream(5000, 3)
+	var total int64
+	n := 0
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		total += req.GapInstr
+		n++
+	}
+	mean := float64(total) / float64(n)
+	want := 1000 / spec.MPKI
+	if mean < want*0.8 || mean > want*1.2 {
+		t.Fatalf("mean gap = %.1f, want ~%.1f", mean, want)
+	}
+}
+
+func TestHotRowsShareOfTraffic(t *testing.T) {
+	// A hot-heavy workload must send a substantial share of its requests
+	// to the declared hot set, and zero-hot workloads none.
+	spec, _ := ByName("lbm")
+	region := testRegion()
+	gen := NewGenerator(spec, region, 0, 5, Params{})
+	if gen.HotRows() == 0 {
+		t.Fatal("lbm has no hot rows")
+	}
+	if gen.PHot() <= 0 {
+		t.Fatal("lbm pHot = 0")
+	}
+	cold, _ := ByName("wrf")
+	genCold := NewGenerator(cold, region, 0, 5, Params{})
+	if genCold.HotRows() != 0 || genCold.PHot() != 0 {
+		t.Fatalf("wrf hot = %d pHot = %g", genCold.HotRows(), genCold.PHot())
+	}
+}
+
+func TestBurstLocality(t *testing.T) {
+	// Background accesses come in same-row runs (mean BackgroundBurst):
+	// the stream must contain markedly fewer distinct-row transitions
+	// than a burst-free one.
+	spec, _ := ByName("xz")
+	region := testRegion()
+	transitions := func(burst int) int {
+		gen := NewGenerator(spec, region, 0, 9, Params{BackgroundBurst: burst})
+		s := gen.Stream(4000, 9)
+		var prev dram.Row
+		n := 0
+		first := true
+		for {
+			req, ok := s.Next()
+			if !ok {
+				return n
+			}
+			if first || req.Row != prev {
+				n++
+			}
+			prev, first = req.Row, false
+		}
+	}
+	if b4, b1 := transitions(4), transitions(1); b4 >= b1*8/10 {
+		t.Fatalf("bursting did not reduce row transitions: %d vs %d", b4, b1)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	spec, _ := ByName("mcf")
+	gen := NewGenerator(spec, testRegion(), 0, 11, Params{WriteFraction: 0.5})
+	s := gen.Stream(4000, 11)
+	writes := 0
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		if req.Write {
+			writes++
+		}
+	}
+	if writes < 1600 || writes > 2400 {
+		t.Fatalf("writes = %d of 4000, want ~2000", writes)
+	}
+}
+
+func TestCoreCopiesGetDistinctHotRows(t *testing.T) {
+	spec, _ := ByName("gcc")
+	region := testRegion()
+	g0 := NewGenerator(spec, region, 0, 42, Params{})
+	g1 := NewGenerator(spec, region, 1, 42, Params{})
+	same := 0
+	for i := range g0.hot {
+		if i < len(g1.hot) && g0.hot[i].row == g1.hot[i].row {
+			same++
+		}
+	}
+	if len(g0.hot) > 10 && same == len(g0.hot) {
+		t.Fatal("rate copies share hot rows")
+	}
+}
+
+func TestZeroMPKIPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGenerator(Spec{Name: "bad"}, testRegion(), 0, 1, Params{})
+}

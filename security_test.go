@@ -1,0 +1,426 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/flipmodel"
+	"repro/internal/memctrl"
+	"repro/internal/mitigation"
+	"repro/internal/rrs"
+	"repro/internal/security"
+	"repro/internal/sim"
+	"repro/internal/tracker"
+	"repro/internal/vrefresh"
+	"repro/internal/workload"
+)
+
+// runAttack drives one attack stream through a single core against the
+// given mitigator and returns the system pieces for inspection.
+func runAttack(t *testing.T, mit mitigation.Mitigator, rank *dram.Rank, trh int, stream cpu.Stream) (*security.Monitor, *memctrl.Controller) {
+	t.Helper()
+	mon := security.NewMonitor(trh, rank.Timing().TREFW)
+	mon.Attach(rank)
+	ctrl := memctrl.New(rank, mit, memctrl.Config{})
+	c := cpu.New(0, stream, cpu.Config{MLP: 1})
+	for {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			break
+		}
+		c.Issue(at, ctrl.Submit)
+	}
+	return mon, ctrl
+}
+
+func TestBaselineVulnerableToDoubleSided(t *testing.T) {
+	geom := BaselineGeometry()
+	rank := NewRank(geom, DDR4Timing())
+	victim := geom.RowOf(3, 5000)
+	const trh = 1000
+	mon, _ := runAttack(t, mitigation.None{}, rank, trh,
+		attack.DoubleSided(geom, victim, 2*trh))
+	if !mon.Violated() {
+		t.Fatal("unprotected memory survived a double-sided attack")
+	}
+}
+
+func TestBaselineVulnerableToSingleSided(t *testing.T) {
+	geom := BaselineGeometry()
+	rank := NewRank(geom, DDR4Timing())
+	aggr := geom.RowOf(0, 777)
+	mon, _ := runAttack(t, mitigation.None{}, rank, 1000,
+		attack.SingleSided(geom, aggr, geom.RowsPerBank, 2000))
+	if !mon.Violated() {
+		t.Fatal("unprotected memory survived single-sided hammering")
+	}
+}
+
+func TestAquaStopsDoubleSided(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeSRAM, core.ModeMemMapped} {
+		rank := NewBaselineRank()
+		geom := rank.Geometry()
+		eng := core.New(rank, core.Config{TRH: 1000, Mode: mode})
+		victim := geom.RowOf(3, 5000)
+		mon, _ := runAttack(t, eng, rank, 1000,
+			attack.DoubleSided(geom, victim, 4000))
+		if mon.Violated() {
+			t.Fatalf("%s: AQUA violated: %+v", mode, mon.Violations()[0])
+		}
+		if eng.Stats().Mitigations == 0 {
+			t.Fatalf("%s: attack triggered no mitigations", mode)
+		}
+		if _, max := mon.MaxWindowCount(); max >= 1000 {
+			t.Fatalf("%s: a row reached %d ACTs", mode, max)
+		}
+	}
+}
+
+func TestAquaStopsSustainedHammering(t *testing.T) {
+	// The attacker follows the row through every quarantine: translate,
+	// hammer, repeat — 20x the threshold in total. Property P3: even the
+	// quarantine slots migrate before reaching T_RH.
+	rank := NewBaselineRank()
+	geom := rank.Geometry()
+	const trh = 1000
+	eng := core.New(rank, core.Config{TRH: trh, Mode: core.ModeMemMapped})
+	mon := security.NewMonitor(trh, rank.Timing().TREFW)
+	mon.Attach(rank)
+	ctrl := memctrl.New(rank, eng, memctrl.Config{})
+
+	// The adaptive pattern forces one target activation per round even as
+	// migrations move the row across banks.
+	aggr := geom.RowOf(0, 42)
+	stream := attack.AdaptiveHammer(geom, aggr, 60000, 8*trh)
+	c := cpu.New(0, stream, cpu.Config{MLP: 1})
+	for {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			break
+		}
+		c.Issue(at, ctrl.Submit)
+	}
+	if mon.Violated() {
+		t.Fatalf("sustained hammering violated: %+v", mon.Violations()[0])
+	}
+	if eng.Stats().Mitigations < 10 {
+		t.Fatalf("expected many internal migrations, got %d", eng.Stats().Mitigations)
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRRSStopsSustainedHammering(t *testing.T) {
+	rank := NewBaselineRank()
+	geom := rank.Geometry()
+	const trh = 1000
+	eng := rrs.New(rank, rrs.Config{TRH: trh, Seed: 9})
+	mon := security.NewMonitor(trh, rank.Timing().TREFW)
+	mon.Attach(rank)
+	ctrl := memctrl.New(rank, eng, memctrl.Config{})
+
+	aggr := geom.RowOf(1, 42)
+	stream := attack.AdaptiveHammer(geom, aggr, geom.RowsPerBank, 6*trh)
+	c := cpu.New(0, stream, cpu.Config{MLP: 1})
+	for {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			break
+		}
+		c.Issue(at, ctrl.Submit)
+	}
+	if mon.Violated() {
+		t.Fatalf("RRS violated: %+v", mon.Violations()[0])
+	}
+	if eng.Stats().Mitigations == 0 {
+		t.Fatal("RRS never swapped under sustained hammering")
+	}
+}
+
+func TestHalfDoubleDefeatsVictimRefreshButNotAqua(t *testing.T) {
+	geom := BaselineGeometry()
+	const trh = 400 // keep the attack cheap; behaviour is threshold-relative
+	victim := geom.RowOf(2, 1000)
+	// The attacker hammers the distance-2 ring around the victim hard
+	// enough that the mitigating refreshes of the distance-1 rows
+	// themselves accumulate T_RH disturbances on the victim.
+	acts := int64(trh) * int64(trh) // enough refresh triggers
+
+	// The flip threshold is 2*T_RH combined disturbance: T_RH is defined
+	// per aggressor row, and a victim has two distance-1 neighbours.
+	const flipThreshold = 2 * trh
+
+	// Victim refresh: flips the distance-2 victim (Figure 1a).
+	{
+		rank := NewRank(geom, DDR4Timing())
+		fm := flipmodel.New(geom, flipThreshold, rank.Timing().TREFW)
+		fm.Attach(rank)
+		eng := vrefresh.New(rank, vrefresh.Config{
+			TRH:       trh,
+			OnRefresh: func(r dram.Row, at dram.PS) { fm.RowOpened(r, at) },
+		})
+		mon, _ := runAttack(t, eng, rank, trh, attack.HalfDouble(geom, victim, acts))
+		_ = mon
+		flipped := false
+		for _, f := range fm.Flips() {
+			if f.Victim == victim {
+				flipped = true
+			}
+		}
+		if !flipped {
+			t.Fatal("Half-Double did not flip the distance-2 victim under victim refresh")
+		}
+	}
+
+	// AQUA: the aggressors are quarantined away; no row in the victim's
+	// neighbourhood accumulates the threshold. Deliberately checked at the
+	// *stricter* 1x combined threshold — AQUA holds with margin.
+	{
+		rank := NewRank(geom, DDR4Timing())
+		fm := flipmodel.New(geom, trh, rank.Timing().TREFW)
+		fm.Attach(rank)
+		eng := core.New(rank, core.Config{TRH: trh, Mode: core.ModeMemMapped})
+		mon, _ := runAttack(t, eng, rank, trh, attack.HalfDouble(geom, victim, acts))
+		for _, f := range fm.Flips() {
+			if f.Victim == victim {
+				t.Fatal("Half-Double flipped the victim despite AQUA")
+			}
+		}
+		if mon.Violated() {
+			t.Fatalf("AQUA activation invariant violated: %+v", mon.Violations()[0])
+		}
+	}
+}
+
+func TestWorstCaseDoSBounded(t *testing.T) {
+	// Section VI-C: the worst adversarial pattern slows the memory system
+	// by at most ~2.95x. Measure the same DoS stream on baseline and AQUA
+	// and compare elapsed time.
+	geom := BaselineGeometry()
+	const trh = 1000
+	region := sim.VisibleRegion(sim.Config{})
+	run := func(mit func(*dram.Rank) mitigation.Mitigator) dram.PS {
+		rank := NewRank(geom, DDR4Timing())
+		ctrl := memctrl.New(rank, mit(rank), memctrl.Config{})
+		s := attack.NewRotatingDoS(geom, region.VisibleRowsPerBank, trh/2, 200_000)
+		c := cpu.New(0, s, cpu.Config{MLP: 4})
+		var last dram.PS
+		for {
+			at, ok := c.NextIssueTime()
+			if !ok {
+				break
+			}
+			c.Issue(at, ctrl.Submit)
+			last = c.FinishTime()
+		}
+		return last
+	}
+	base := run(func(*dram.Rank) mitigation.Mitigator { return mitigation.None{} })
+	aqua := run(func(r *dram.Rank) mitigation.Mitigator {
+		return core.New(r, core.Config{TRH: trh, Mode: core.ModeSRAM})
+	})
+	slowdown := float64(aqua) / float64(base)
+	if slowdown > 3.1 {
+		t.Fatalf("DoS slowdown %.2fx exceeds the 2.95x analytical bound", slowdown)
+	}
+	if slowdown < 1.05 {
+		t.Fatalf("DoS pattern had no effect (%.2fx) — attack not exercising migrations", slowdown)
+	}
+}
+
+func TestTableHammerDefended(t *testing.T) {
+	// Section VI-B integrity: hammering AQUA's in-DRAM FPT via forced
+	// lookup misses must quarantine the table row itself, and no physical
+	// row may reach T_RH.
+	rank := NewBaselineRank()
+	geom := rank.Geometry()
+	const trh = 200
+	eng := core.New(rank, core.Config{TRH: trh, Mode: core.ModeMemMapped})
+	mon := security.NewMonitor(trh, rank.Timing().TREFW)
+	mon.Attach(rank)
+	ctrl := memctrl.New(rank, eng, memctrl.Config{})
+
+	// Setup: quarantine two rows in each of two groups of the first FPT
+	// table row's coverage (rows 0..4095 share one 8KB FPT row).
+	setup := []dram.Row{geom.RowOf(0, 0), geom.RowOf(0, 1),
+		geom.RowOf(0, 16), geom.RowOf(0, 17)}
+	// Sweep distinct rows of those groups: every access walks to DRAM.
+	var sweep []dram.Row
+	for i := 2; i < 16; i++ {
+		sweep = append(sweep, geom.RowOf(0, i))
+	}
+	for i := 18; i < 32; i++ {
+		sweep = append(sweep, geom.RowOf(0, i))
+	}
+	stream := attack.TableHammer(geom, eng.VisibleRowsPerBank(), setup, sweep, trh/2, 40)
+	c := cpu.New(0, stream, cpu.Config{MLP: 1})
+	for {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			break
+		}
+		c.Issue(at, ctrl.Submit)
+	}
+	for _, r := range setup {
+		if !eng.IsQuarantined(r) {
+			t.Fatalf("setup row %d not quarantined", r)
+		}
+	}
+	if eng.Stats().TableDRAMAccesses == 0 {
+		t.Fatal("sweep never reached the in-DRAM FPT")
+	}
+	if mon.Violated() {
+		t.Fatalf("table hammering violated the invariant: %+v", mon.Violations()[0])
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBirthdayProbingAgainstRRS(t *testing.T) {
+	// RRS's threat: an attacker who hammers a row and probes random rows
+	// hoping to find the swap destination. Whatever the probes hit, no
+	// physical row may cross T_RH.
+	rank := NewBaselineRank()
+	geom := rank.Geometry()
+	const trh = 600
+	eng := rrs.New(rank, rrs.Config{TRH: trh, Seed: 4})
+	mon := security.NewMonitor(trh, rank.Timing().TREFW)
+	mon.Attach(rank)
+	ctrl := memctrl.New(rank, eng, memctrl.Config{})
+
+	aggr := geom.RowOf(0, 9)
+	at := dram.PS(0)
+	probe := dram.Row(1)
+	for i := 0; i < 6*trh; i++ {
+		at = ctrl.Submit(aggr, false, at)
+		probe = dram.Row((uint64(probe)*2862933555777941757 + 3037000493) % uint64(geom.Rows()))
+		// Probes must avoid the reserved strips only in AQUA; RRS has
+		// none, so any row is fair game.
+		at = ctrl.Submit(probe, false, at)
+	}
+	if mon.Violated() {
+		t.Fatalf("birthday probing violated: %+v", mon.Violations()[0])
+	}
+}
+
+func TestManySidedAgainstAqua(t *testing.T) {
+	rank := NewBaselineRank()
+	geom := rank.Geometry()
+	const trh = 500
+	eng := core.New(rank, core.Config{TRH: trh, Mode: core.ModeSRAM})
+	victim := geom.RowOf(1, 4000)
+	mon, _ := runAttack(t, eng, rank, trh,
+		attack.ManySided(geom, victim, 4, 3*trh))
+	if mon.Violated() {
+		t.Fatalf("many-sided attack violated: %+v", mon.Violations()[0])
+	}
+	if eng.Stats().Mitigations == 0 {
+		t.Fatal("many-sided attack triggered no quarantines")
+	}
+}
+
+func TestAquaHydraTrackerStopsAttack(t *testing.T) {
+	// Appendix B's AQUA-Hydra configuration: the storage-optimized hybrid
+	// tracker must preserve the security invariant end-to-end.
+	rank := NewBaselineRank()
+	geom := rank.Geometry()
+	const trh = 1000
+	eng := core.New(rank, core.Config{
+		TRH:     trh,
+		Mode:    core.ModeMemMapped,
+		Tracker: tracker.NewHydra(geom, trh/2, 128),
+	})
+	mon := security.NewMonitor(trh, rank.Timing().TREFW)
+	mon.Attach(rank)
+	ctrl := memctrl.New(rank, eng, memctrl.Config{})
+	stream := attack.AdaptiveHammer(geom, geom.RowOf(2, 42), 60000, 5*trh)
+	c := cpu.New(0, stream, cpu.Config{MLP: 1})
+	for {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			break
+		}
+		c.Issue(at, ctrl.Submit)
+	}
+	if mon.Violated() {
+		t.Fatalf("AQUA-Hydra violated: %+v", mon.Violations()[0])
+	}
+	if eng.Stats().Mitigations == 0 {
+		t.Fatal("Hydra tracker never triggered")
+	}
+}
+
+func TestProactiveDrainPreservesSecurity(t *testing.T) {
+	// The Section IV-D background drainer must not weaken the invariant:
+	// run the sustained attack across an epoch boundary with draining on.
+	rank := NewBaselineRank()
+	geom := rank.Geometry()
+	const trh = 400
+	eng := core.New(rank, core.Config{
+		TRH: trh, Mode: core.ModeMemMapped, ProactiveDrain: true,
+	})
+	mon := security.NewMonitor(trh, rank.Timing().TREFW)
+	mon.Attach(rank)
+	ctrl := memctrl.New(rank, eng, memctrl.Config{
+		EpochLength:       2 * dram.Millisecond,
+		IdleDrainInterval: 20 * dram.Microsecond,
+	})
+	stream := attack.AdaptiveHammer(geom, geom.RowOf(1, 7), 60000, 12*trh)
+	c := cpu.New(0, stream, cpu.Config{MLP: 1})
+	for {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			break
+		}
+		c.Issue(at, ctrl.Submit)
+	}
+	if mon.Violated() {
+		t.Fatalf("drain-enabled AQUA violated: %+v", mon.Violations()[0])
+	}
+	if eng.Stats().ProactiveDrains == 0 {
+		t.Fatal("drainer never ran despite epoch rollover")
+	}
+	if err := eng.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoRunDoSImpactBounded(t *testing.T) {
+	// Section VI-C, end to end: with a DoS attacker on one core and a
+	// benign workload on the others, AQUA's extra interference on the
+	// victims (beyond the attack's own bandwidth use) stays within the
+	// 2.95x analytical bound, and the invariant holds throughout.
+	spec, ok := workloadByName("gcc")
+	if !ok {
+		t.Fatal("gcc spec missing")
+	}
+	res, err := sim.CoRun(sim.SchemeAquaSRAM, 1000, spec, 4*dram.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violated {
+		t.Fatal("co-run violated the invariant")
+	}
+	if res.Mitigations == 0 {
+		t.Fatal("attacker triggered no mitigations")
+	}
+	if res.AttackSlowdown > 3.1 {
+		t.Fatalf("victim slowdown %.2fx exceeds the DoS bound", res.AttackSlowdown)
+	}
+	if res.VictimIPC <= 0 || res.BaselineVictimIPC <= 0 || res.SoloVictimIPC <= 0 {
+		t.Fatalf("degenerate IPCs: %+v", res)
+	}
+	// The attack itself must cost the victims something relative to solo.
+	if res.BaselineVictimIPC >= res.SoloVictimIPC {
+		t.Logf("note: attacker did not measurably disturb victims (%.3f vs %.3f)",
+			res.BaselineVictimIPC, res.SoloVictimIPC)
+	}
+}
+
+// workloadByName re-exports workload lookup for the co-run test.
+func workloadByName(name string) (workload.Spec, bool) { return workload.ByName(name) }
