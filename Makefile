@@ -1,0 +1,30 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets, so a green `make lint test` locally matches a green build.
+
+GO ?= go
+
+.PHONY: all build lint test race fuzz bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# lint = the standard vet pass plus aqualint, the repo's own analyzer
+# suite (determinism and numeric-comparison rules; see cmd/aqualint).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/aqualint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke against the AQUA engine's structural invariants.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCore -fuzztime=10s ./internal/core
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .

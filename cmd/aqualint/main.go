@@ -1,0 +1,83 @@
+// Command aqualint is the repository's static-analysis multichecker: it
+// type-checks the requested packages and runs the determinism/soundness
+// analyzer suite (nodirectrand, noclock, maporder, floatcmp) over them.
+//
+// Usage:
+//
+//	go run ./cmd/aqualint ./...          # whole repository
+//	go run ./cmd/aqualint ./internal/dram
+//	go run ./cmd/aqualint -list          # describe the analyzers
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load failure.
+// Suppress a reviewed finding with an `//aqualint:ignore <name>` comment
+// on the flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, an := range suite {
+			fmt.Printf("%-14s %s\n", an.Name, an.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := lint.PackageDirs(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	if len(dirs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aqualint: %s: %v\n", dir, err)
+			exit = 2
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "aqualint: %s: type error: %v\n", pkg.Path, terr)
+			exit = 2
+		}
+		for _, d := range lint.RunAnalyzers(pkg, suite) {
+			fmt.Println(d)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aqualint:", err)
+	os.Exit(2)
+}

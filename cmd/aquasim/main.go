@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"repro"
@@ -54,7 +55,12 @@ func main() {
 			fmt.Println("  ", n)
 		}
 		fmt.Println("schemes:")
+		names := make([]string, 0, len(schemes))
 		for n := range schemes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
 			fmt.Println("  ", n)
 		}
 		return

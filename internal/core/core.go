@@ -33,6 +33,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/cat"
 	"repro/internal/dram"
+	"repro/internal/invariant"
 	"repro/internal/mitigation"
 	"repro/internal/sramcache"
 	"repro/internal/tracker"
@@ -93,6 +94,11 @@ type Config struct {
 	CacheLatency dram.PS
 	// Seed controls hash seeds of the CAT.
 	Seed uint64
+	// Invariants, when non-nil, enables runtime invariant checking: O(1)
+	// structural assertions after every mitigation plus the full
+	// CheckInvariants sweep at each epoch boundary, reported through the
+	// checker instead of panicking.
+	Invariants *invariant.Checker
 }
 
 // DefaultConfig returns the paper's default configuration at T_RH=1K with
@@ -169,6 +175,11 @@ type Engine struct {
 	rpt     []rptEntry
 	head    int
 	epoch   int64
+	// quarCount tracks the number of valid RPT entries incrementally, so
+	// the invariant layer can assert occupancy in O(1) after each
+	// mitigation and cross-check it against the full scan at epoch ends.
+	quarCount int
+	chk       *invariant.Checker
 	// drainCursor is the proactive drainer's sweep position;
 	// drainRemaining counts the slots left in the current epoch's sweep
 	// (0 = sweep complete, nothing more to drain until the next epoch).
@@ -256,6 +267,7 @@ func New(rank *dram.Rank, cfg Config) *Engine {
 		e.fptCAT = cat.New(cat.Config{Sets: sets, Ways: 8, Seed: cfg.Seed ^ 0xa9fa, MaxRelocations: 16})
 	}
 
+	e.chk = cfg.Invariants
 	e.art = cfg.Tracker
 	if e.art == nil {
 		e.art = tracker.NewMisraGries(geom, cfg.EffectiveThreshold(),
@@ -479,6 +491,7 @@ func (e *Engine) mitigate(physRow dram.Row, at dram.PS) dram.PS {
 		// The hammered slot is retired for the rest of this epoch.
 		e.rpt[slot].valid = false
 		e.rpt[slot].epochUsed = e.epoch
+		e.quarCount--
 		srcSlot = slot
 	} else {
 		if e.fptSlot[physRow] >= 0 {
@@ -521,6 +534,7 @@ func (e *Engine) mitigate(physRow dram.Row, at dram.PS) dram.PS {
 		t = e.streamPair(e.slotRow(d), old, t)
 		e.clearMapping(old, t)
 		e.rpt[d].valid = false
+		e.quarCount--
 		e.stats.Evictions++
 		e.stats.RowMigrations++
 	}
@@ -533,6 +547,7 @@ func (e *Engine) mitigate(physRow dram.Row, at dram.PS) dram.PS {
 	wasQuarantined := e.fptSlot[install] >= 0
 	e.fptSlot[install] = int32(d)
 	e.rpt[d] = rptEntry{install: install, valid: true, epochUsed: e.epoch}
+	e.quarCount++
 
 	switch e.cfg.Mode {
 	case ModeSRAM:
@@ -554,6 +569,16 @@ func (e *Engine) mitigate(physRow dram.Row, at dram.PS) dram.PS {
 		// Table maintenance traffic: FPT entry write and RPT entry write.
 		t = e.tableAccess(e.fptTableRowFor(install), true, t)
 		t = e.tableAccess(e.rptTableRowFor(d), true, t)
+	}
+
+	if e.chk != nil {
+		// O(1) structural checks on the slot just written; the full-table
+		// sweep runs at epoch boundaries.
+		e.chk.Checkf(e.fptSlot[install] == int32(d) && e.rpt[d].valid && e.rpt[d].install == install,
+			"core", "fpt-rpt-bijection", t,
+			"install row %d and slot %d disagree after quarantine", install, d)
+		e.chk.Checkf(e.quarCount <= e.rqaRows, "core", "rqa-occupancy", t,
+			"%d quarantined rows exceed RQA capacity %d", e.quarCount, e.rqaRows)
 	}
 
 	// The channel is reserved until the migration completes (Section IV-G).
@@ -598,7 +623,28 @@ func (e *Engine) clearMapping(old dram.Row, t dram.PS) {
 
 // OnEpoch implements mitigation.Mitigator: the tracker resets every
 // refresh interval; FPT/RPT drain lazily (Section IV-A).
-func (e *Engine) OnEpoch(_ dram.PS) {
+func (e *Engine) OnEpoch(now dram.PS) {
+	if e.chk != nil {
+		// Full structural sweep at the epoch boundary, reported through the
+		// checker rather than panicking mid-simulation.
+		if err := e.CheckInvariants(); err != nil {
+			e.chk.Reportf("core", "structural", now, "%v", err)
+		}
+		e.chk.Checkf(e.quarCount == e.QuarantinedCount(), "core", "occupancy-count", now,
+			"incremental occupancy %d disagrees with RPT scan %d", e.quarCount, e.QuarantinedCount())
+		if e.cfg.ProactiveDrain && e.drainRemaining == 0 {
+			// A completed drain sweep must leave no quarantined row from an
+			// earlier epoch: entries installed after their slot was swept
+			// all carry the current epoch.
+			for s, ent := range e.rpt {
+				if ent.valid && ent.epochUsed < e.epoch {
+					e.chk.Reportf("core", "stale-after-drain", now,
+						"slot %d still holds row %d from epoch %d after a completed drain sweep",
+						s, ent.install, ent.epochUsed)
+				}
+			}
+		}
+	}
 	e.art.Reset()
 	e.epoch++
 	if e.cfg.ProactiveDrain {
@@ -636,6 +682,7 @@ func (e *Engine) OnIdle(now dram.PS) dram.PS {
 		t := e.streamPair(e.slotRow(d), old, now)
 		e.clearMapping(old, t)
 		ent.valid = false
+		e.quarCount--
 		e.stats.Evictions++
 		e.stats.ProactiveDrains++
 		e.stats.RowMigrations++

@@ -4,14 +4,16 @@ import (
 	"testing"
 
 	"repro/internal/dram"
+	"repro/internal/invariant"
 	"repro/internal/tracker"
 )
 
-// FuzzEngineOps drives the AQUA engine with a byte-coded operation
-// sequence — hammer bursts on fuzzer-chosen rows, epoch rolls, idle
-// drains — and checks the structural invariants after every step. This is
+// FuzzCore drives the AQUA engine with a byte-coded operation sequence —
+// hammer bursts on fuzzer-chosen rows, epoch rolls, idle drains — and
+// checks the structural invariants after every step, both through the
+// runtime invariant checker and the full CheckInvariants sweep. This is
 // the adversarial-scheduler counterpart to the randomized property test.
-func FuzzEngineOps(f *testing.F) {
+func FuzzCore(f *testing.F) {
 	f.Add([]byte{0x10, 0x20, 0xFF, 0x30, 0x01})
 	f.Add([]byte{0xFE, 0x00, 0xFE, 0x00})
 	f.Add([]byte{})
@@ -23,6 +25,7 @@ func FuzzEngineOps(f *testing.F) {
 			ops = ops[:256]
 		}
 		for _, mode := range []Mode{ModeSRAM, ModeMemMapped} {
+			chk := invariant.New()
 			rank := dram.NewRank(geom, dram.DDR4())
 			eng := New(rank, Config{
 				TRH:            16,
@@ -30,6 +33,7 @@ func FuzzEngineOps(f *testing.F) {
 				RQARows:        12,
 				Tracker:        tracker.NewExact(geom, 8),
 				ProactiveDrain: true,
+				Invariants:     chk,
 			})
 			at := dram.PS(0)
 			visible := eng.VisibleRowsPerBank()
@@ -51,6 +55,9 @@ func FuzzEngineOps(f *testing.F) {
 				}
 				at += dram.Microsecond
 				if err := eng.CheckInvariants(); err != nil {
+					t.Fatalf("mode %v after op %#x: %v", mode, op, err)
+				}
+				if err := chk.Err(); err != nil {
 					t.Fatalf("mode %v after op %#x: %v", mode, op, err)
 				}
 			}

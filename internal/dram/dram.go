@@ -10,7 +10,11 @@
 // 64ms refresh window.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+)
 
 // PS is simulated time in picoseconds. Picosecond resolution represents
 // the fractional-nanosecond DDR4 parameters (e.g. tRCD = 14.2ns) exactly
@@ -230,7 +234,39 @@ type Rank struct {
 	actCounts []uint64 // lifetime ACT count per row
 	listeners []ActListener
 
+	// reservedUntil is the end of the latest channel reservation
+	// (monotonic); the memory controller's invariant hook checks accesses
+	// against it.
+	reservedUntil PS
+
+	// chk, when non-nil, enables the timing-invariant shadow checker: a
+	// second, independent derivation of the per-bank timing windows from
+	// the reference timing `ref`, verified against every committed
+	// command. Release-mode simulation leaves chk nil and pays one
+	// pointer test per command.
+	chk    *invariant.Checker
+	ref    Timing
+	shadow *timingShadow
+
 	stats RankStats
+}
+
+// timingShadow holds the invariant checker's independent view of bank
+// state, deliberately separate from the scheduling fields so a bug in
+// one cannot hide in the other.
+type timingShadow struct {
+	banks      []bankShadow
+	ring       [4]PS // last four rank-level ACT commits (tFAW)
+	ringIdx    int
+	ringN      int
+	refreshEnd PS
+}
+
+type bankShadow struct {
+	lastACT PS
+	hasACT  bool
+	lastPRE PS // PRE issue time; the next ACT must wait tRP after it
+	hasPRE  bool
 }
 
 // RankStats aggregates activity counters for reporting.
@@ -282,6 +318,69 @@ func (r *Rank) Stats() RankStats { return r.stats }
 // registration order on every committed ACT.
 func (r *Rank) Listen(l ActListener) { r.listeners = append(r.listeners, l) }
 
+// EnableInvariants installs the timing-invariant shadow checker. Every
+// committed command is verified against the windows derived from `ref` —
+// normally the rank's own timing, but tests may pass a stricter
+// reference to prove the checker fires (e.g. a rank mis-configured with
+// a too-short tRP checked against real DDR4).
+func (r *Rank) EnableInvariants(c *invariant.Checker, ref Timing) {
+	r.chk = c
+	r.ref = ref
+	r.shadow = &timingShadow{banks: make([]bankShadow, r.geom.Banks)}
+}
+
+// InvariantsEnabled reports whether a shadow checker is installed.
+func (r *Rank) InvariantsEnabled() bool { return r.chk != nil }
+
+// checkACT verifies one committed ACT against the reference timing
+// windows and updates the shadow state.
+func (r *Rank) checkACT(bank int, at PS) {
+	s := r.shadow
+	bs := &s.banks[bank]
+	if bs.hasACT {
+		r.chk.Checkf(at >= bs.lastACT+r.ref.TRC, "dram", "tRC", at,
+			"bank %d: ACT only %dps after previous ACT (tRC=%dps)", bank, at-bs.lastACT, r.ref.TRC)
+	}
+	if bs.hasPRE {
+		r.chk.Checkf(at >= bs.lastPRE+r.ref.TRP, "dram", "tRP", at,
+			"bank %d: ACT only %dps after PRE (tRP=%dps)", bank, at-bs.lastPRE, r.ref.TRP)
+	}
+	r.chk.Checkf(at >= s.refreshEnd, "dram", "tRFC", at,
+		"bank %d: ACT during refresh window ending %dps", bank, s.refreshEnd)
+	if s.ringN >= len(s.ring) {
+		oldest := s.ring[s.ringIdx]
+		r.chk.Checkf(at >= oldest+r.ref.TFAW, "dram", "tFAW", at,
+			"fifth ACT only %dps after the fourth-previous (tFAW=%dps)", at-oldest, r.ref.TFAW)
+	}
+	s.ring[s.ringIdx] = at
+	s.ringIdx = (s.ringIdx + 1) % len(s.ring)
+	if s.ringN < len(s.ring) {
+		s.ringN++
+	}
+	bs.lastACT = at
+	bs.hasACT = true
+}
+
+// notePRE records a precharge issue for the tRP shadow check.
+func (r *Rank) notePRE(bank int, at PS) {
+	if r.chk == nil {
+		return
+	}
+	bs := &r.shadow.banks[bank]
+	bs.lastPRE = at
+	bs.hasPRE = true
+}
+
+// checkCol verifies a column command against tRCD from the bank's last
+// activation.
+func (r *Rank) checkCol(bank int, at PS) {
+	bs := &r.shadow.banks[bank]
+	if bs.hasACT {
+		r.chk.Checkf(at >= bs.lastACT+r.ref.TRCD, "dram", "tRCD", at,
+			"bank %d: column command only %dps after ACT (tRCD=%dps)", bank, at-bs.lastACT, r.ref.TRCD)
+	}
+}
+
 // ActCount returns the lifetime number of activations of a row.
 func (r *Rank) ActCount(row Row) uint64 {
 	return r.actCounts[row]
@@ -299,6 +398,9 @@ func (r *Rank) fawReady(at PS) PS {
 // activate commits an ACT to row at time 'at' and notifies listeners.
 // Callers must have applied fawReady to 'at'.
 func (r *Rank) activate(b *bank, row Row, at PS) {
+	if r.chk != nil {
+		r.checkACT(r.geom.BankOf(row), at)
+	}
 	r.actHist[r.actIdx] = at
 	r.actIdx = (r.actIdx + 1) % len(r.actHist)
 	b.openRow = row
@@ -329,6 +431,9 @@ func (r *Rank) Access(row Row, write bool, earliest PS) (done PS, activated bool
 		// Row-buffer hit: column access only.
 		r.stats.RowHits++
 		col := maxPS(at, b.readyCol)
+		if r.chk != nil {
+			r.checkCol(r.geom.BankOf(row), col)
+		}
 		data := maxPS(col+t.TCL, r.busFree)
 		r.busFree = data + t.TBL
 		b.readyCol = col + t.TCCDL
@@ -340,6 +445,7 @@ func (r *Rank) Access(row Row, write bool, earliest PS) (done PS, activated bool
 		start := at
 		if b.hasOpen {
 			pre := maxPS(start, b.readyPRE)
+			r.notePRE(r.geom.BankOf(row), pre)
 			start = pre + t.TRP
 		}
 		act := r.fawReady(maxPS(start, b.readyACT))
@@ -372,6 +478,7 @@ func (r *Rank) StreamRow(row Row, write bool, earliest PS) (done PS) {
 	start := earliest
 	if b.hasOpen {
 		pre := maxPS(start, b.readyPRE)
+		r.notePRE(r.geom.BankOf(row), pre)
 		start = pre + t.TRP
 	}
 	act := maxPS(start, b.readyACT)
@@ -413,6 +520,9 @@ func (r *Rank) RefreshAll(at PS) (done PS) {
 	if r.busFree < done {
 		r.busFree = done
 	}
+	if r.chk != nil {
+		r.shadow.refreshEnd = done
+	}
 	r.stats.Refreshes++
 	return done
 }
@@ -421,6 +531,9 @@ func (r *Rank) RefreshAll(at PS) (done PS) {
 // time; the memory controller uses this to model channel reservation during
 // multi-row migration sequences.
 func (r *Rank) Reserve(until PS) {
+	if until > r.reservedUntil {
+		r.reservedUntil = until
+	}
 	for i := range r.banks {
 		if r.banks[i].readyACT < until {
 			r.banks[i].readyACT = until
@@ -437,6 +550,10 @@ func (r *Rank) Reserve(until PS) {
 // BusFreeAt returns the earliest time the shared data bus is free.
 func (r *Rank) BusFreeAt() PS { return r.busFree }
 
+// ReservedUntil returns the end of the latest channel reservation (0 if
+// the channel was never reserved).
+func (r *Rank) ReservedUntil() PS { return r.reservedUntil }
+
 // OpenRow returns the currently open row in a bank, if any.
 func (r *Rank) OpenRow(bankIdx int) (Row, bool) {
 	b := r.banks[bankIdx]
@@ -449,6 +566,7 @@ func (r *Rank) PrechargeAll(at PS) {
 		b := &r.banks[i]
 		if b.hasOpen {
 			pre := maxPS(at, b.readyPRE)
+			r.notePRE(i, pre)
 			b.openRow = InvalidRow
 			b.hasOpen = false
 			if b.readyACT < pre+r.timing.TRP {

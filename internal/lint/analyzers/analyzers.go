@@ -1,0 +1,22 @@
+// Package analyzers registers the aqualint analyzer suite: the
+// determinism and soundness rules specific to this simulator. See each
+// analyzer's package documentation for the rationale behind its rule.
+package analyzers
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers/floatcmp"
+	"repro/internal/lint/analyzers/maporder"
+	"repro/internal/lint/analyzers/noclock"
+	"repro/internal/lint/analyzers/nodirectrand"
+)
+
+// All returns the full aqualint suite in reporting order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		nodirectrand.Analyzer,
+		noclock.Analyzer,
+		maporder.Analyzer,
+		floatcmp.Analyzer,
+	}
+}

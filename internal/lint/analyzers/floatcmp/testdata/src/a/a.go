@@ -1,0 +1,34 @@
+// Package a is the floatcmp test corpus: exact float equality is
+// flagged; integer equality, ordering comparisons, and tolerance checks
+// are not.
+package a
+
+type mw float64
+
+func bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func bad32(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func badNamed(a, b mw) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badZero(a float64) bool {
+	return a == 0 // want `floating-point == comparison`
+}
+
+func okInt(a, b int) bool { return a == b }
+
+func okOrdering(a, b float64) bool { return a < b }
+
+func okTolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

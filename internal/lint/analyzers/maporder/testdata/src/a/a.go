@@ -1,0 +1,85 @@
+// Package a is the maporder test corpus: order-dependent map-iteration
+// bodies are flagged; aggregates, map stores, and the collect-then-sort
+// idiom are not.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration`
+	}
+	return keys
+}
+
+func okCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // exempt: sorted immediately below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okCollectThenSortSlice(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // exempt: sort.Slice below mentions keys
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside map iteration`
+	}
+}
+
+func badIndexedWrite(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `indexed write to out inside map iteration`
+		i++
+	}
+}
+
+type holder struct{ rows []string }
+
+func badFieldAppend(h *holder, m map[string]bool) {
+	for k := range m {
+		h.rows = append(h.rows, k) // want `append to h.rows inside map iteration`
+	}
+}
+
+func okAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // order-independent accumulation: not flagged
+	}
+	return total
+}
+
+func okMapWrite(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v // map stores commute: not flagged
+	}
+}
+
+func okSliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // slice iteration is ordered: not flagged
+	}
+	return out
+}
+
+func suppressed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //aqualint:ignore maporder reviewed: debug-only helper
+	}
+}

@@ -1,0 +1,66 @@
+// Package noclock forbids wall-clock reads (time.Now, time.Since,
+// time.Until, time.Sleep, time.After, time.Tick, time.NewTimer,
+// time.NewTicker) in simulation packages (repro/internal/...). Simulated
+// time must flow from the cycle counter (dram.PS); a wall-clock read in a
+// model makes results depend on host speed and scheduling, destroying the
+// identical-seed/identical-figure property. Command-line front-ends
+// (cmd/...) may still measure wall time for progress reporting.
+package noclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// banned lists the time-package functions that read or wait on the wall
+// clock.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Analyzer is the noclock check.
+var Analyzer = &lint.Analyzer{
+	Name: "noclock",
+	Doc: "forbid wall-clock reads in simulation packages; simulated time " +
+		"must come from the cycle counter (dram.PS), not time.Now",
+	Applies: func(pkgPath string) bool {
+		// Simulation packages only; cmd/ front-ends and the repro root
+		// package may time themselves. Non-module paths (analyzer test
+		// corpora) are always in scope.
+		if !strings.HasPrefix(pkgPath, "repro") {
+			return true
+		}
+		return strings.HasPrefix(pkgPath, "repro/internal/")
+	},
+	Run: run,
+}
+
+func run(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn := pass.PkgNameOf(id)
+			if pn == nil || pn.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall-clock call time.%s in a simulation package; derive time from the cycle counter (dram.PS)", sel.Sel.Name)
+			return true
+		})
+	}
+}

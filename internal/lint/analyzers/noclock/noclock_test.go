@@ -1,0 +1,26 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/noclock"
+	"repro/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, noclock.Analyzer, "testdata", "a")
+}
+
+func TestScope(t *testing.T) {
+	applies := noclock.Analyzer.Applies
+	for _, p := range []string{"repro/cmd/aquasim", "repro/cmd/figures", "repro"} {
+		if applies(p) {
+			t.Errorf("%s is a front-end; wall-clock progress timing is allowed there", p)
+		}
+	}
+	for _, p := range []string{"repro/internal/dram", "repro/internal/sim", "a"} {
+		if !applies(p) {
+			t.Errorf("%s is a simulation package; must be in scope", p)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package a is the noclock test corpus: wall-clock reads are flagged,
+// duration arithmetic and type references are not.
+package a
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()          // want `wall-clock call time.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock call time.Sleep`
+	return time.Since(start)     // want `wall-clock call time.Since`
+}
+
+func badChannels() {
+	<-time.After(time.Second) // want `wall-clock call time.After`
+}
+
+// ok: referring to the time package for types and constants is fine;
+// only clock reads are banned.
+func ok(d time.Duration) time.Duration { return d + 3*time.Second }

@@ -1,0 +1,24 @@
+package nodirectrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/nodirectrand"
+	"repro/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, nodirectrand.Analyzer, "testdata", "a")
+}
+
+func TestScope(t *testing.T) {
+	applies := nodirectrand.Analyzer.Applies
+	if applies("repro/internal/rng") {
+		t.Error("internal/rng is the sanctioned home of randomness; must be exempt")
+	}
+	for _, p := range []string{"repro/internal/core", "repro/cmd/aquasim", "repro", "a"} {
+		if !applies(p) {
+			t.Errorf("%s should be in scope", p)
+		}
+	}
+}

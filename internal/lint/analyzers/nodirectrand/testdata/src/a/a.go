@@ -1,0 +1,15 @@
+// Package a is the nodirectrand test corpus: both forbidden rand
+// packages, imported plainly and under an alias.
+package a
+
+import (
+	crand "crypto/rand" // want `direct import of crypto/rand`
+	"math/rand"         // want `direct import of math/rand`
+)
+
+// use keeps the imports referenced so the corpus stays type-clean.
+func use() (int, error) {
+	buf := make([]byte, 4)
+	_, err := crand.Read(buf)
+	return rand.Int(), err
+}

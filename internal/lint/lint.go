@@ -1,0 +1,175 @@
+// Package lint is a self-contained static-analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, built only on the standard
+// library's go/ast and go/types so the repository carries no external
+// dependencies. It powers cmd/aqualint, the multichecker that enforces
+// the simulator's determinism and timing-soundness rules (see DESIGN.md,
+// "Determinism & invariants").
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports diagnostics with Pass.Reportf. Diagnostics on a line that
+// carries an `//aqualint:ignore <name>` comment are suppressed, giving
+// call sites a reviewed escape hatch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in reports and in
+	// `//aqualint:ignore <name>` suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the rule.
+	Doc string
+	// Applies filters packages by import path; nil means every package.
+	// Paths outside the module (e.g. the "a"-style paths of test corpora)
+	// should be accepted so analyzer tests are unaffected by scoping.
+	Applies func(pkgPath string) bool
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	PkgPath  string
+
+	diags   *[]Diagnostic
+	ignores map[string]map[int][]string // filename -> line -> analyzer names ("" = all)
+}
+
+// Reportf records a diagnostic at pos unless the line is suppressed.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, name := range p.ignores[position.Filename][position.Line] {
+		if name == "" || name == p.Analyzer.Name {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil if unknown (e.g. the
+// package had type errors).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// PkgNameOf resolves an identifier to the imported package it names, or
+// nil if it is not a package qualifier. It is the building block for
+// "is this selector fmt.Println / time.Now?" questions.
+func (p *Pass) PkgNameOf(id *ast.Ident) *types.PkgName {
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
+// IsPkgCall reports whether call invokes pkgPath.name (e.g. "time", "Now").
+func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn := p.PkgNameOf(id)
+	return pn != nil && pn.Imported().Path() == pkgPath
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*aqualint:ignore(?:\s+([A-Za-z0-9_,-]+))?`)
+
+// buildIgnores indexes `//aqualint:ignore` comments by file and line.
+func buildIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					out[pos.Filename] = lines
+				}
+				if m[1] == "" {
+					lines[pos.Line] = append(lines[pos.Line], "")
+					continue
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					lines[pos.Line] = append(lines[pos.Line], strings.TrimSpace(name))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every applicable analyzer to a loaded package and
+// returns the diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ignores := buildIgnores(pkg.Fset, pkg.Files)
+	for _, an := range analyzers {
+		if an.Applies != nil && !an.Applies(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: an,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			diags:    &diags,
+			ignores:  ignores,
+		}
+		an.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/dram"), or a synthetic
+	// label for directories outside the module (analyzer test corpora).
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-checking errors. Analysis proceeds
+	// best-effort in their presence (mirroring x/tools behaviour for
+	// corpora that deliberately contain odd code).
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module, resolving
+// module-internal imports from source and standard-library imports
+// through the compiler's source importer (both work offline).
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	std  types.Importer
+	pkgs map[string]*Package // memoized by directory (cleaned, absolute)
+	seen map[string]bool     // import-cycle guard by import path
+}
+
+// NewLoader builds a loader rooted at the module containing dir (the
+// nearest ancestor with a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  modDir,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		seen:       make(map[string]bool),
+	}, nil
+}
+
+// findModule walks upward from dir looking for go.mod and returns the
+// module directory and module path.
+func findModule(dir string) (string, string, error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+	}
+}
+
+// importPathFor maps a directory inside the module to its import path.
+// Directories outside the module get a synthetic path (their base name),
+// matching the layout of analyzer test corpora (testdata/src/<name>).
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// dirForImport maps a module-internal import path to its directory.
+func (l *Loader) dirForImport(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer so the type-checker can resolve the
+// imports of packages under analysis.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.dirForImport(path); ok {
+		if l.seen[path] {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		l.seen[path] = true
+		defer delete(l.seen, path)
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package in dir (test files excluded),
+// memoizing the result. Type errors are collected, not fatal.
+func (l *Loader) Load(dir string) (*Package, error) {
+	return l.LoadAs(dir, "")
+}
+
+// LoadAs is Load with an explicit import path, used by analyzer tests to
+// give corpora under testdata/src a synthetic path ("a") that no
+// path-scoping rule excludes. An empty path derives it from the module.
+func (l *Loader) LoadAs(dir, path string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[abs]; ok {
+		return pkg, nil
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", abs)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	if path == "" {
+		path = l.importPathFor(abs)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   abs,
+		Fset:  l.Fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Hard errors (unresolvable imports) surface through the returned
+	// error; everything else lands in TypeErrors and analysis proceeds.
+	tpkg, err := conf.Check(pkg.Path, l.Fset, files, pkg.Info)
+	if tpkg == nil {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	l.pkgs[abs] = pkg
+	return pkg, nil
+}
+
+// PackageDirs expands a pattern list into package directories. Patterns
+// ending in "/..." are walked recursively; others name single package
+// directories. testdata, vendor, and hidden directories are skipped,
+// mirroring the go tool's pattern semantics.
+func PackageDirs(root string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil || seen[abs] {
+			return
+		}
+		seen[abs] = true
+		dirs = append(dirs, abs)
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if pat == "..." {
+			base, recursive = ".", true
+		}
+		if base == "" {
+			base = "."
+		}
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

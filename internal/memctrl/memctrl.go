@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/invariant"
 	"repro/internal/mitigation"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	// background-work opportunity (Drainer.OnIdle) at most once per
 	// interval, modelling work done while the channel is idle.
 	IdleDrainInterval dram.PS
+	// Invariants, when non-nil, enables runtime invariant checking on
+	// this controller and (if not already enabled) the rank's timing
+	// shadow checker. Tests turn this on everywhere; release-mode
+	// simulation leaves it nil and pays nothing.
+	Invariants *invariant.Checker
 }
 
 // Drainer is the optional background-work hook a mitigation scheme may
@@ -70,6 +76,7 @@ type Controller struct {
 	nextDrain   dram.PS
 	drainer     Drainer
 	now         dram.PS
+	chk         *invariant.Checker
 
 	stats Stats
 }
@@ -92,6 +99,12 @@ func New(rank *dram.Rank, mit mitigation.Mitigator, cfg Config) *Controller {
 	}
 	if cfg.IdleDrainInterval > 0 {
 		c.drainer, _ = mit.(Drainer)
+	}
+	if cfg.Invariants != nil {
+		c.chk = cfg.Invariants
+		if !rank.InvariantsEnabled() {
+			rank.EnableInvariants(cfg.Invariants, rank.Timing())
+		}
 	}
 	return c
 }
@@ -133,6 +146,17 @@ func (c *Controller) Advance(at dram.PS) {
 			c.drainer.OnIdle(c.nextDrain)
 			c.nextDrain += c.cfg.IdleDrainInterval
 		default:
+			if c.chk != nil {
+				// All due background work must have been drained: a
+				// starved refresh or epoch would silently skew both the
+				// charge model and the tracker guarantee.
+				if !c.cfg.DisableRefresh {
+					c.chk.Checkf(c.nextRefresh > at, "memctrl", "refresh-starved", at,
+						"refresh due at %dps not issued by %dps", c.nextRefresh, at)
+				}
+				c.chk.Checkf(c.nextEpoch > at, "memctrl", "epoch-starved", at,
+					"epoch due at %dps not processed by %dps", c.nextEpoch, at)
+			}
 			c.now = at
 			return
 		}
@@ -149,7 +173,19 @@ func (c *Controller) Submit(row dram.Row, write bool, at dram.PS) dram.PS {
 
 	issue := c.mit.Delay(row, at)
 	tr := c.mit.Translate(row, issue)
+	// Snapshot the reservation horizon before the access: the mitigation
+	// triggered below may extend it, but this access must not have
+	// overlapped a window reserved by an *earlier* migration.
+	var resBefore dram.PS
+	if c.chk != nil {
+		resBefore = c.rank.ReservedUntil()
+	}
 	done, activated := c.rank.Access(tr.PhysRow, write, issue+tr.Latency)
+	if c.chk != nil {
+		c.chk.Checkf(done > resBefore, "memctrl", "reserved-channel", done,
+			"access to row %d completed at %dps inside a reservation ending %dps",
+			tr.PhysRow, done, resBefore)
+	}
 	if activated {
 		// Mitigative action (if triggered) reserves the channel; the
 		// triggering access itself has already completed.

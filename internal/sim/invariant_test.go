@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/invariant"
+)
+
+// TestFullSystemRunsInvariantClean wires the checker through every layer
+// (rank timing shadow, controller, mitigation contract, AQUA structural
+// checks) and runs a real workload under each scheme: any violation is a
+// simulator bug.
+func TestFullSystemRunsInvariantClean(t *testing.T) {
+	for _, s := range []Scheme{
+		SchemeBaseline, SchemeAquaSRAM, SchemeAquaMemMapped,
+		SchemeRRS, SchemeBlockhammer, SchemeVictimRefresh,
+	} {
+		chk := invariant.New()
+		cfg := fastCfg(s)
+		cfg.Invariants = chk
+		sys := NewSystem(cfg, xzStreams(t, 1500))
+		res := sys.Run(0)
+		if res.Requests == 0 {
+			t.Errorf("%s: no requests ran", s)
+		}
+		if err := chk.Err(); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+// TestProactiveDrainInvariantClean exercises the background drainer path
+// (OnIdle through the Checked wrapper) with the checker on.
+func TestProactiveDrainInvariantClean(t *testing.T) {
+	chk := invariant.New()
+	cfg := fastCfg(SchemeAquaMemMapped)
+	cfg.ProactiveDrain = true
+	cfg.Invariants = chk
+	sys := NewSystem(cfg, xzStreams(t, 3000))
+	if _, ok := sys.Mit.(interface{ OnIdle(int64) int64 }); !ok {
+		t.Fatal("Checked wrapper lost the Drainer capability")
+	}
+	sys.Run(0)
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/invariant"
 	"repro/internal/memctrl"
 	"repro/internal/mitigation"
 	"repro/internal/power"
@@ -92,6 +93,12 @@ type Config struct {
 	// serviced by the controller every IdleDrainInterval (default 10us
 	// when enabled).
 	ProactiveDrain bool
+	// Invariants, when non-nil, threads the runtime invariant checker
+	// through every layer: the rank's timing shadow, the controller's
+	// reservation/starvation checks, the mitigation contract wrapper, and
+	// AQUA's structural checks. Tests enable it; production runs leave it
+	// nil at zero cost.
+	Invariants *invariant.Checker
 }
 
 // TrackerKind selects an aggressor-tracker implementation.
@@ -188,6 +195,7 @@ func NewSystem(cfg Config, streams []cpu.Stream) *System {
 			BloomGroupSize:  cfg.BloomGroupSize,
 			FPTCacheEntries: cfg.FPTCacheEntries,
 			ProactiveDrain:  cfg.ProactiveDrain,
+			Invariants:      cfg.Invariants,
 		}
 	}
 	switch cfg.Scheme {
@@ -215,7 +223,13 @@ func NewSystem(cfg Config, streams []cpu.Stream) *System {
 		panic(fmt.Sprintf("sim: unknown scheme %d", cfg.Scheme))
 	}
 
-	ctrlCfg := memctrl.Config{EpochLength: cfg.EpochLength}
+	if cfg.Invariants != nil {
+		// Wrap the scheme in the mitigation-contract checker; s.Aqua keeps
+		// pointing at the concrete engine for layout/breakdown queries.
+		s.Mit = mitigation.Checked(s.Mit, cfg.Geometry, cfg.Invariants)
+	}
+
+	ctrlCfg := memctrl.Config{EpochLength: cfg.EpochLength, Invariants: cfg.Invariants}
 	if cfg.ProactiveDrain {
 		ctrlCfg.IdleDrainInterval = 10 * dram.Microsecond
 	}

@@ -98,7 +98,19 @@ func NewMisraGries(geom dram.Geometry, threshold int64, entriesPerBank int) *Mis
 	return t
 }
 
-// heap helpers: min-heap on count with the index map kept in sync.
+// heap helpers: min-heap ordered by (count, row) with the index map kept
+// in sync. The row id breaks count ties so the eviction victim is a
+// canonical function of the table contents — without it, which of several
+// minimum-count entries sat at the root depended on insertion history,
+// and a future refactor of the install path could silently change every
+// downstream figure.
+
+func (b *mgBank) less(i, j int) bool {
+	if b.heap[i].count != b.heap[j].count {
+		return b.heap[i].count < b.heap[j].count
+	}
+	return b.heap[i].row < b.heap[j].row
+}
 
 func (b *mgBank) swap(i, j int) {
 	b.heap[i], b.heap[j] = b.heap[j], b.heap[i]
@@ -109,7 +121,7 @@ func (b *mgBank) swap(i, j int) {
 func (b *mgBank) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if b.heap[parent].count <= b.heap[i].count {
+		if !b.less(i, parent) {
 			return
 		}
 		b.swap(i, parent)
@@ -122,10 +134,10 @@ func (b *mgBank) siftDown(i int) {
 	for {
 		left, right := 2*i+1, 2*i+2
 		smallest := i
-		if left < n && b.heap[left].count < b.heap[smallest].count {
+		if left < n && b.less(left, smallest) {
 			smallest = left
 		}
-		if right < n && b.heap[right].count < b.heap[smallest].count {
+		if right < n && b.less(right, smallest) {
 			smallest = right
 		}
 		if smallest == i {

@@ -278,3 +278,41 @@ func TestConstructorPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestMisraGriesEvictionTieBreakCanonical installs the same set of
+// equal-count rows in different orders and verifies the eviction victim
+// is the same either way: the heap orders ties by row id, so which entry
+// gets swapped out is a function of the table contents, not of insertion
+// history.
+func TestMisraGriesEvictionTieBreakCanonical(t *testing.T) {
+	geom := testGeom()
+	rows := []dram.Row{geom.RowOf(0, 40), geom.RowOf(0, 10), geom.RowOf(0, 30), geom.RowOf(0, 20)}
+	orders := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+
+	victim := func(order []int) dram.Row {
+		tr := NewMisraGries(geom, 1000, len(rows))
+		for _, i := range order {
+			tr.RecordACT(rows[i])
+		}
+		// Table full, all counts equal: the next install swaps out the
+		// canonical minimum.
+		tr.RecordACT(geom.RowOf(0, 99))
+		for _, r := range rows {
+			if tr.EstimatedCount(r) == 0 {
+				return r
+			}
+		}
+		t.Fatal("no eviction happened")
+		return 0
+	}
+
+	want := victim(orders[0])
+	if want != geom.RowOf(0, 10) {
+		t.Errorf("victim = row %d, want the lowest row id %d", want, geom.RowOf(0, 10))
+	}
+	for _, o := range orders[1:] {
+		if got := victim(o); got != want {
+			t.Errorf("order %v evicted row %d, order %v evicted row %d", orders[0], want, o, got)
+		}
+	}
+}
