@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz bench
+.PHONY: all build lint test race fuzz bench bench-quick bench-json
 
 all: build lint test
 
@@ -26,5 +26,22 @@ race:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCore -fuzztime=10s ./internal/core
 
+# Full benchmark sweep (64ms window, 34 workloads). Knobs:
+#   REPRO_BENCH_WINDOW_MS=4 REPRO_BENCH_WORKLOADS=spec  quick mode
+#   REPRO_BENCH_PAR=N                                   parallelism (0 = cores)
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 0 .
+
+# Quick benchmark for contributors: 4ms window, 18 SPEC workloads — same
+# harness, minutes instead of hours.
+bench-quick:
+	REPRO_BENCH_WINDOW_MS=4 REPRO_BENCH_WORKLOADS=spec $(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 0 .
+
+# Record headline metrics (slowdowns, migrations/64ms, grid wall-clock at
+# -j 1 vs -j 4) to BENCH_<date>.json. Defaults to the quick configuration;
+# unset the REPRO_BENCH_* overrides for a full-window record.
+bench-json:
+	REPRO_BENCH_WINDOW_MS=$${REPRO_BENCH_WINDOW_MS:-4} \
+	REPRO_BENCH_WORKLOADS=$${REPRO_BENCH_WORKLOADS:-spec} \
+	REPRO_BENCH_JSON=BENCH_$$(date +%F).json \
+	$(GO) test -run='^TestBenchJSON$$' -timeout 0 .

@@ -10,16 +10,26 @@
 //	REPRO_BENCH_WINDOW_MS  simulated window per run (default 64 = one full
 //	                       refresh window, the paper's metric window)
 //	REPRO_BENCH_WORKLOADS  "all" (default: 18 SPEC + 16 mixes) or "spec"
+//	REPRO_BENCH_PAR        concurrent simulations (default 0 = one per
+//	                       core; 1 = serial). Results are identical at any
+//	                       setting — only wall-clock changes.
+//	REPRO_BENCH_JSON       path to write headline metrics as JSON (used by
+//	                       `make bench-json`, which runs TestBenchJSON)
 //
-// The same tables are available interactively via cmd/figures.
+// The same tables are available interactively via cmd/figures. A quick
+// benchmark configuration for contributors is `make bench-quick`
+// (REPRO_BENCH_WINDOW_MS=4 REPRO_BENCH_WORKLOADS=spec).
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/core"
@@ -38,23 +48,33 @@ var (
 	printedOnce  sync.Map
 )
 
+// benchOptions reads the REPRO_BENCH_* environment into LabOptions.
+func benchOptions() LabOptions {
+	windowMS := 64
+	if v := os.Getenv("REPRO_BENCH_WINDOW_MS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			windowMS = n
+		}
+	}
+	workloads := AllWorkloads()
+	if os.Getenv("REPRO_BENCH_WORKLOADS") == "spec" {
+		workloads = SPECWorkloads()
+	}
+	parallel := 0
+	if v := os.Getenv("REPRO_BENCH_PAR"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			parallel = n
+		}
+	}
+	return LabOptions{
+		Window:    dram.PS(windowMS) * dram.Millisecond,
+		Workloads: workloads,
+		Parallel:  parallel,
+	}
+}
+
 func sharedLab() *Lab {
-	benchLabOnce.Do(func() {
-		windowMS := 64
-		if v := os.Getenv("REPRO_BENCH_WINDOW_MS"); v != "" {
-			if n, err := strconv.Atoi(v); err == nil && n > 0 {
-				windowMS = n
-			}
-		}
-		workloads := AllWorkloads()
-		if os.Getenv("REPRO_BENCH_WORKLOADS") == "spec" {
-			workloads = SPECWorkloads()
-		}
-		benchLab = NewLab(LabOptions{
-			Window:    dram.PS(windowMS) * dram.Millisecond,
-			Workloads: workloads,
-		})
-	})
+	benchLabOnce.Do(func() { benchLab = NewLab(benchOptions()) })
 	return benchLab
 }
 
@@ -65,19 +85,29 @@ func emit(name, table string) {
 	}
 }
 
-// gmeanNormIPC extracts the geometric-mean normalized IPC for a scheme
-// cell across the lab's workloads.
-func gmeanNormIPC(b *testing.B, l *Lab, scheme Scheme, trh int64) float64 {
-	b.Helper()
+// labGmean computes the geometric-mean normalized IPC for a scheme cell
+// across a lab's workloads.
+func labGmean(l *Lab, scheme Scheme, trh int64) (float64, error) {
 	var norms []float64
 	for _, name := range l.opts.Workloads {
 		r, err := l.Run(name, scheme, trh)
 		if err != nil {
-			b.Fatal(err)
+			return 0, err
 		}
 		norms = append(norms, r.NormIPC)
 	}
-	return stats.Geomean(norms)
+	return stats.Geomean(norms), nil
+}
+
+// gmeanNormIPC extracts the geometric-mean normalized IPC for a scheme
+// cell across the lab's workloads.
+func gmeanNormIPC(b *testing.B, l *Lab, scheme Scheme, trh int64) float64 {
+	b.Helper()
+	gm, err := labGmean(l, scheme, trh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gm
 }
 
 // --- Figures --------------------------------------------------------------
@@ -353,6 +383,135 @@ func BenchmarkSection5HPower(b *testing.B) {
 		}
 	}
 	emit("section5h", out)
+}
+
+// --- Machine-readable bench record (make bench-json) ------------------------
+
+// BenchRecord is the headline-metric snapshot `make bench-json` writes to
+// BENCH_<date>.json, recording the repo's performance trajectory PR over
+// PR: paper metrics (slowdowns, migrations/64ms) plus grid wall-clock at
+// -j 1 and -j N on the same grid.
+type BenchRecord struct {
+	Date      string `json:"date"`
+	HostCores int    `json:"host_cores"`
+	WindowMS  int    `json:"window_ms"`
+	Workloads int    `json:"workloads"`
+	GridCells int    `json:"grid_cells"`
+	Jobs      int    `json:"jobs"`
+
+	WallSerialSec   float64 `json:"wall_serial_sec"`
+	WallParallelSec float64 `json:"wall_parallel_sec"`
+	Speedup         float64 `json:"speedup"`
+
+	SlowdownAqua1KPct float64 `json:"slowdown_aqua_1k_pct"`
+	SlowdownRRS1KPct  float64 `json:"slowdown_rrs_1k_pct"`
+	MigrAquaPer64ms   float64 `json:"migrations_per_64ms_aqua"`
+	MigrRRSPer64ms    float64 `json:"migrations_per_64ms_rrs"`
+}
+
+// TestBenchJSON records headline metrics to the file named by
+// REPRO_BENCH_JSON (it skips when unset, so plain `go test` never pays
+// for it). It runs the same grid serially and at -j N, checks the
+// rendered output is byte-identical, and writes wall-clock for both, so
+// the recorded speedup is backed by a determinism check. Window,
+// workload set, and N follow the REPRO_BENCH_* knobs.
+func TestBenchJSON(t *testing.T) {
+	path := os.Getenv("REPRO_BENCH_JSON")
+	if path == "" {
+		t.Skip("set REPRO_BENCH_JSON=<path> (or run `make bench-json`) to record metrics")
+	}
+	opts := benchOptions()
+	jobs := opts.Parallel
+	if jobs <= 1 {
+		jobs = 4 // the acceptance configuration; override with REPRO_BENCH_PAR
+	}
+	grid := PaperGrid()
+
+	serialOpts, parallelOpts := opts, opts
+	serialOpts.Parallel = 1
+	parallelOpts.Parallel = jobs
+	serialLab, parallelLab := NewLab(serialOpts), NewLab(parallelOpts)
+
+	start := time.Now()
+	if err := parallelLab.Precompute(grid...); err != nil {
+		t.Fatal(err)
+	}
+	wallParallel := time.Since(start)
+
+	start = time.Now()
+	if err := serialLab.Precompute(grid...); err != nil {
+		t.Fatal(err)
+	}
+	wallSerial := time.Since(start)
+
+	// The speedup only counts if both engines emit the same bytes.
+	serialOut, err := serialLab.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelOut, err := parallelLab.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialOut != parallelOut {
+		t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialOut, parallelOut)
+	}
+
+	aquaGM, err := labGmean(parallelLab, SchemeAquaMemMapped, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrsGM, err := labGmean(parallelLab, SchemeRRS, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var migrAqua, migrRRS float64
+	for _, name := range opts.Workloads {
+		a, err := parallelLab.Run(name, SchemeAquaMemMapped, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := parallelLab.Run(name, SchemeRRS, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		migrAqua += a.Result.MigrationsPer64ms
+		migrRRS += r.Result.MigrationsPer64ms
+	}
+	n := float64(len(opts.Workloads))
+
+	rec := BenchRecord{
+		Date:              time.Now().Format("2006-01-02"),
+		HostCores:         runtime.GOMAXPROCS(0),
+		WindowMS:          int(opts.Window / dram.Millisecond),
+		Workloads:         len(opts.Workloads),
+		GridCells:         len(grid),
+		Jobs:              jobs,
+		WallSerialSec:     wallSerial.Seconds(),
+		WallParallelSec:   wallParallel.Seconds(),
+		Speedup:           wallSerial.Seconds() / wallParallel.Seconds(),
+		SlowdownAqua1KPct: (1 - aquaGM) * 100,
+		SlowdownRRS1KPct:  (1 - rrsGM) * 100,
+		MigrAquaPer64ms:   migrAqua / n,
+		MigrRRSPer64ms:    migrRRS / n,
+	}
+	// A 2x speedup at -j 4 is the acceptance bar, but it is only
+	// physically reachable with cores to spare; a 1-core host records
+	// its (flat) numbers without failing.
+	if rec.HostCores >= 4 && rec.Speedup < 2 {
+		t.Errorf("grid speedup at -j %d is %.2fx on %d cores, want >= 2x",
+			jobs, rec.Speedup, rec.HostCores)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recorded %s: serial %.1fs, -j %d %.1fs (%.2fx)",
+		path, rec.WallSerialSec, jobs, rec.WallParallelSec, rec.Speedup)
 }
 
 // BenchmarkAblationProactiveDrain quantifies the Section IV-D note: with

@@ -8,9 +8,12 @@
 //	figures -table 3                 # one table (2..7)
 //	figures -workloads spec          # 18 SPEC workloads only (default all 34)
 //	figures -window 16               # simulated window in ms (default 64)
+//	figures -j 8                     # concurrent simulations (0 = all cores)
 //
 // Simulation-backed outputs share one result cache, so -all simulates each
-// (workload, scheme, threshold) cell exactly once.
+// (workload, scheme, threshold) cell exactly once; with -j > 1 the grid
+// fans out to a worker pool, and the emitted text is byte-identical to a
+// serial run (results are collected in canonical cell order).
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 	workloads := flag.String("workloads", "all", `workload set: "all" (34) or "spec" (18)`)
 	windowMS := flag.Int("window", 64, "simulated window per run in ms")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	par := flag.Int("j", 0, "concurrent simulations (0 = one per core, 1 = serial)")
 	flag.Parse()
 
 	if *figure == 0 && *table == 0 && *section == "" {
@@ -42,8 +46,9 @@ func main() {
 	}
 
 	opts := repro.LabOptions{
-		Window: dram.PS(*windowMS) * dram.Millisecond,
-		Seed:   *seed,
+		Window:   dram.PS(*windowMS) * dram.Millisecond,
+		Seed:     *seed,
+		Parallel: *par,
 	}
 	switch *workloads {
 	case "all":
@@ -81,6 +86,18 @@ func main() {
 		{"section 5f", lab.SensitivityVF},
 		{"section 5h", lab.PowerReport},
 		{"section 6c", func() (string, error) { return lab.CoRunReport("gcc") }},
+	}
+
+	if *all {
+		// Warm the union grid once up front so the worker pool sees the
+		// whole evaluation at full width, instead of draining per figure.
+		start := time.Now()
+		if err := lab.Precompute(repro.PaperGrid()...); err != nil {
+			log.Fatalf("precompute: %v", err)
+		}
+		if d := time.Since(start); d > time.Second {
+			fmt.Fprintf(os.Stderr, "[grid precomputed in %s]\n\n", d.Round(time.Millisecond))
+		}
 	}
 
 	want := func(j job) bool {

@@ -2,11 +2,14 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analytic"
 	"repro/internal/dram"
+	"repro/internal/flight"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -27,6 +30,12 @@ type LabOptions struct {
 	// Calibrate enables the two-pass baseline-IPC calibration (default
 	// true; see DESIGN.md).
 	NoCalibration bool
+	// Parallel bounds how many simulations run concurrently when a
+	// figure (or Precompute) sweeps its grid (0 = GOMAXPROCS, 1 =
+	// serial). Every rendered table is byte-identical at any setting:
+	// cells simulate on isolated systems and the renderers read results
+	// back in canonical workload/cell order (see DESIGN.md).
+	Parallel int
 }
 
 // AllWorkloads returns all 34 case names (18 SPEC + 16 mixes).
@@ -37,10 +46,17 @@ func SPECWorkloads() []string { return sim.SPECCaseNames() }
 
 // Lab runs the paper's experiments with a shared result cache, so figures
 // that need the same (workload, scheme, threshold) cell don't re-simulate.
+// A Lab is safe for concurrent use, and every simulation-backed figure
+// first fans its grid out to a worker pool (LabOptions.Parallel wide)
+// before rendering serially from the cache — so tables come out
+// byte-identical to a serial run at any parallelism.
 type Lab struct {
 	opts   LabOptions
 	runner *sim.Runner
+
+	mu     sync.Mutex // guards cache
 	cache  map[labKey]sim.WorkloadRun
+	flight flight.Group[labKey, sim.WorkloadRun]
 }
 
 type labKey struct {
@@ -60,35 +76,92 @@ func NewLab(opts LabOptions) *Lab {
 	if opts.Seed == 0 {
 		opts.Seed = 0x41515541
 	}
+	if opts.Parallel <= 0 {
+		opts.Parallel = runtime.GOMAXPROCS(0)
+	}
 	return &Lab{
 		opts: opts,
 		runner: sim.NewRunner(sim.ExpConfig{
 			Window:    opts.Window,
 			Seed:      opts.Seed,
 			Calibrate: !opts.NoCalibration,
+			Parallel:  opts.Parallel,
 		}),
 		cache: make(map[labKey]sim.WorkloadRun),
 	}
 }
 
 // Run measures one workload under one scheme at a threshold, caching the
-// result.
+// result. Concurrent callers asking for the same cell share one
+// simulation.
 func (l *Lab) Run(name string, scheme Scheme, trh int64) (sim.WorkloadRun, error) {
 	key := labKey{name, scheme, trh}
-	if r, ok := l.cache[key]; ok {
+	l.mu.Lock()
+	r, ok := l.cache[key]
+	l.mu.Unlock()
+	if ok {
 		return r, nil
 	}
-	r, err := l.runner.Run(name, scheme, trh)
-	if err != nil {
-		return sim.WorkloadRun{}, err
+	return l.flight.Do(key, func() (sim.WorkloadRun, error) {
+		l.mu.Lock()
+		r, ok := l.cache[key]
+		l.mu.Unlock()
+		if ok {
+			return r, nil
+		}
+		r, err := l.runner.Run(name, scheme, trh)
+		if err != nil {
+			return sim.WorkloadRun{}, err
+		}
+		l.mu.Lock()
+		l.cache[key] = r
+		l.mu.Unlock()
+		return r, nil
+	})
+}
+
+// Precompute simulates every (workload, cell) combination of the lab's
+// workload set into the cache, fanning the grid out to at most
+// LabOptions.Parallel concurrent workers. Figures call it before
+// rendering; callers sweeping several figures can warm the union of
+// their grids (e.g. PaperGrid) in one parallel pass up front.
+func (l *Lab) Precompute(cells ...sim.GridCell) error {
+	if len(cells) == 0 {
+		return nil
 	}
-	l.cache[key] = r
-	return r, nil
+	names := l.opts.Workloads
+	return flight.ForEach(len(names)*len(cells), l.opts.Parallel, func(k int) error {
+		name, cell := names[k/len(cells)], cells[k%len(cells)]
+		_, err := l.Run(name, cell.Scheme, cell.TRH)
+		return err
+	})
+}
+
+// PaperGrid returns the (scheme, threshold) cells the full evaluation
+// sweeps: the union of every simulation-backed figure and table's grid.
+// Lab.Precompute(PaperGrid()...) warms the whole evaluation in one
+// parallel pass.
+func PaperGrid() []sim.GridCell {
+	return []sim.GridCell{
+		{Scheme: SchemeBaseline, TRH: 1000},
+		{Scheme: SchemeAquaSRAM, TRH: 1000},
+		{Scheme: SchemeAquaMemMapped, TRH: 2000},
+		{Scheme: SchemeAquaMemMapped, TRH: 1000},
+		{Scheme: SchemeAquaMemMapped, TRH: 500},
+		{Scheme: SchemeRRS, TRH: 4000},
+		{Scheme: SchemeRRS, TRH: 2000},
+		{Scheme: SchemeRRS, TRH: 1000},
+		{Scheme: SchemeBlockhammer, TRH: 1000},
+		{Scheme: SchemeVictimRefresh, TRH: 1000},
+	}
 }
 
 // slowdownRow collects normalized IPC for each workload under the cells,
 // appending a geometric-mean row.
 func (l *Lab) normIPCTable(title string, cells []sim.GridCell, colNames []string) (string, error) {
+	if err := l.Precompute(cells...); err != nil {
+		return "", err
+	}
 	headers := append([]string{"Workload"}, colNames...)
 	t := stats.NewTable(title, headers...)
 	per := make([][]float64, len(cells))
@@ -139,6 +212,12 @@ func (l *Lab) Figure3() (string, error) {
 // Figure6 regenerates Figure 6: row migrations per 64ms for AQUA and RRS
 // at T_RH=1K (paper averages: 1099 vs 9935).
 func (l *Lab) Figure6() (string, error) {
+	err := l.Precompute(
+		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 1000},
+		sim.GridCell{Scheme: SchemeRRS, TRH: 1000})
+	if err != nil {
+		return "", err
+	}
 	t := stats.NewTable(
 		"Figure 6: Row migrations per 64ms at T_RH=1K (paper avg: AQUA 1099, RRS 9935)",
 		"Workload", "AQUA", "RRS", "RRS/AQUA")
@@ -199,6 +278,9 @@ func (l *Lab) Figure9() (string, error) {
 // mapped AQUA (paper averages: 92.2% bloom-filtered, 7.3% cache hits, 0.4%
 // singleton, 0.02% DRAM).
 func (l *Lab) Figure10() (string, error) {
+	if err := l.Precompute(sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 1000}); err != nil {
+		return "", err
+	}
 	t := stats.NewTable(
 		"Figure 10: FPT-lookup breakdown (paper avg: 92.2% bloom / 7.3% cache / 0.4% singleton / 0.02% DRAM)",
 		"Workload", "Bloom-reset", "FPT-Cache hit", "Singleton", "DRAM")
@@ -222,6 +304,13 @@ func (l *Lab) Figure10() (string, error) {
 // Figure11 regenerates Figure 11: AQUA's sensitivity to the Rowhammer
 // threshold (paper slowdowns: 0.2% at 2K, 2.1% at 1K, 6.8% at 500).
 func (l *Lab) Figure11() (string, error) {
+	err := l.Precompute(
+		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 2000},
+		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 1000},
+		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 500})
+	if err != nil {
+		return "", err
+	}
 	t := stats.NewTable(
 		"Figure 11: AQUA (memory-mapped) sensitivity to T_RH (paper slowdown: 0.2% / 2.1% / 6.8%)",
 		"T_RH", "Gmean norm. IPC", "Slowdown")
@@ -262,16 +351,28 @@ func (l *Lab) SensitivityVF() (string, error) {
 		{"fpt-cache", "16 KB", sim.Config{FPTCacheEntries: 4096}},
 		{"fpt-cache", "32 KB", sim.Config{FPTCacheEntries: 8192}},
 	}
-	for _, v := range variants {
-		var norms []float64
-		for _, name := range l.opts.Workloads {
-			r, err := l.runner.RunVariant(name, SchemeAquaMemMapped, 1000, v.cfg)
-			if err != nil {
-				return "", err
-			}
-			norms = append(norms, r.NormIPC)
+	// Variant runs bypass the cell cache (their structural overrides are
+	// not part of the cell key), so fan the whole variant x workload
+	// plane out to the worker pool and render from the indexed results.
+	names := l.opts.Workloads
+	norms := make([][]float64, len(variants))
+	for i := range norms {
+		norms[i] = make([]float64, len(names))
+	}
+	err := flight.ForEach(len(variants)*len(names), l.opts.Parallel, func(k int) error {
+		vi, wi := k/len(names), k%len(names)
+		r, err := l.runner.RunVariant(names[wi], SchemeAquaMemMapped, 1000, variants[vi].cfg)
+		if err != nil {
+			return err
 		}
-		gm := stats.Geomean(norms)
+		norms[vi][wi] = r.NormIPC
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, v := range variants {
+		gm := stats.Geomean(norms[i])
 		t.AddRow(v.label, v.size, fmt.Sprintf("%.3f", gm), pct(1-gm))
 	}
 	return t.String(), nil
@@ -346,17 +447,31 @@ func (l *Lab) Table2() (string, error) {
 		"Table II: Workload characteristics (measured on the synthetic streams; paper values in parentheses)",
 		"Workload", "MPKI", "ACT-166+", "ACT-500+", "ACT-1K+")
 	tiers := []int64{166, 500, 1000}
+	var specNames []string
+	var specs []workload.Spec
+	for _, name := range l.opts.Workloads {
+		if spec, ok := workload.ByName(name); ok {
+			// Table II covers the 18 SPEC workloads only; mixes are skipped.
+			specNames = append(specNames, name)
+			specs = append(specs, spec)
+		}
+	}
+	allCounts := make([]map[int64]int, len(specNames))
+	err := flight.ForEach(len(specNames), l.opts.Parallel, func(i int) error {
+		counts, err := l.runner.RowTierCounts(specNames[i], tiers)
+		if err != nil {
+			return err
+		}
+		allCounts[i] = counts
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
 	var sums [3]float64
 	n := 0
-	for _, name := range l.opts.Workloads {
-		spec, ok := workload.ByName(name)
-		if !ok {
-			continue // Table II covers the 18 SPEC workloads only
-		}
-		counts, err := l.runner.RowTierCounts(name, tiers)
-		if err != nil {
-			return "", err
-		}
+	for i, name := range specNames {
+		spec, counts := specs[i], allCounts[i]
 		t.AddRow(name,
 			fmt.Sprintf("%.2f", spec.MPKI),
 			fmt.Sprintf("%d (%d)", counts[166], spec.Rows166),
@@ -392,6 +507,12 @@ func Table3() string {
 
 // Table4 regenerates Table IV: victim refresh vs AQUA.
 func (l *Lab) Table4() (string, error) {
+	err := l.Precompute(
+		sim.GridCell{Scheme: SchemeVictimRefresh, TRH: 1000},
+		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 1000})
+	if err != nil {
+		return "", err
+	}
 	var vr, aq []float64
 	for _, name := range l.opts.Workloads {
 		v, err := l.Run(name, SchemeVictimRefresh, 1000)
@@ -430,6 +551,13 @@ func Table5() string {
 // Table6 regenerates Table VI: the scheme comparison at T_RH=1K, combining
 // measured slowdowns with the paper's storage analysis.
 func (l *Lab) Table6() (string, error) {
+	err := l.Precompute(
+		sim.GridCell{Scheme: SchemeBlockhammer, TRH: 1000},
+		sim.GridCell{Scheme: SchemeRRS, TRH: 1000},
+		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 1000})
+	if err != nil {
+		return "", err
+	}
 	slow := func(scheme Scheme) (string, error) {
 		var norms []float64
 		for _, name := range l.opts.Workloads {
@@ -487,6 +615,12 @@ func Table7() string {
 // lab's workloads, plus the paper's CACTI SRAM constants. The paper
 // reports +0.7% (8.5mW) DRAM and 13.6mW SRAM.
 func (l *Lab) PowerReport() (string, error) {
+	err := l.Precompute(
+		sim.GridCell{Scheme: SchemeBaseline, TRH: 1000},
+		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 1000})
+	if err != nil {
+		return "", err
+	}
 	var basePW, aquaPW []float64
 	for _, name := range l.opts.Workloads {
 		base, err := l.Run(name, SchemeBaseline, 1000)
@@ -544,10 +678,12 @@ func StorageReport() string {
 
 // SortedCacheKeys lists the lab's cached cells (for debugging/reports).
 func (l *Lab) SortedCacheKeys() []string {
+	l.mu.Lock()
 	var keys []string
 	for k := range l.cache {
 		keys = append(keys, fmt.Sprintf("%s/%s/%d", k.workload, k.scheme, k.trh))
 	}
+	l.mu.Unlock()
 	sort.Strings(keys)
 	return keys
 }

@@ -1,0 +1,110 @@
+// Package flight provides the two concurrency primitives the experiment
+// engine is built on: a generic singleflight group (concurrent callers
+// asking for the same key share one execution and its result) and a
+// bounded worker pool with deterministic error selection.
+//
+// Both primitives are deliberately free of any randomness or wall-clock
+// reads: which goroutine computes a value may vary run to run, but the
+// value computed, the caches it lands in, and the error reported are
+// identical regardless of scheduling. That property is what lets the
+// parallel experiment engine emit byte-identical tables to the serial
+// one (see DESIGN.md "Concurrency model").
+package flight
+
+import "sync"
+
+// call is one in-flight computation.
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Group deduplicates concurrent computations by key: while a call for a
+// key is executing, later callers for the same key block and receive the
+// same result instead of re-executing. The zero value is ready to use.
+//
+// Unlike a cache, a Group forgets the key once the call completes; pair
+// it with a mutex-guarded map when results should persist (the Runner
+// and Lab caches do exactly that).
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*call[V]
+}
+
+// Do executes fn for key, unless a call for key is already in flight, in
+// which case it waits for that call and returns its result.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err
+	}
+	c := new(call[V])
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err
+}
+
+// ForEach runs fn(0), fn(1), …, fn(n-1) on at most workers goroutines
+// and waits for all of them. Every index runs exactly once even when
+// some fail. The returned error is the one from the lowest failing
+// index — not the first to fail in wall-clock order — so the error a
+// caller sees does not depend on goroutine scheduling.
+//
+// workers <= 1 degenerates to a plain serial loop on the calling
+// goroutine (still running every index).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

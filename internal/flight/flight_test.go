@@ -1,0 +1,156 @@
+package flight
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupSharesInFlightCall(t *testing.T) {
+	var g Group[string, int]
+	var executions atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	// Leader: opens the flight and holds it open on release. Its fn runs
+	// only after the call is registered, so once started closes, every
+	// later Do("k", …) is guaranteed to find the call in flight.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := g.Do("k", func() (int, error) {
+			executions.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("leader: %d, %v", v, err)
+		}
+	}()
+	<-started
+
+	// Followers: each marks arrival, then piles onto the open flight.
+	var arrived atomic.Int64
+	results := make([]int, 7)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived.Add(1)
+			v, err := g.Do("k", func() (int, error) {
+				executions.Add(1)
+				return -1, nil // must never run: the flight is open
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Keep the flight open until every follower has arrived and had
+	// ample chance to advance from its arrival mark into Do (each yield
+	// lets runnable goroutines run until they block on the call).
+	for arrived.Load() < int64(len(results)) {
+		runtime.Gosched()
+	}
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("follower %d got %d (ran its own fn instead of sharing)", i, v)
+		}
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("want 1 shared execution, got %d", n)
+	}
+}
+
+func TestGroupDistinctKeysDoNotBlock(t *testing.T) {
+	var g Group[int, int]
+	for k := 0; k < 10; k++ {
+		v, err := g.Do(k, func() (int, error) { return k * k, nil })
+		if err != nil || v != k*k {
+			t.Fatalf("key %d: %d, %v", k, v, err)
+		}
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	if _, err := g.Do("k", func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("got %v", err)
+	}
+	// The key is forgotten after the call; a retry re-executes.
+	v, err := g.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry: %d, %v", v, err)
+	}
+}
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 50
+		seen := make([]atomic.Int64, n)
+		if err := ForEach(n, workers, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(20, workers, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 17:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("workers=%d: got %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachKeepsRunningAfterFailure(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(10, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("only %d of 10 indices ran", ran.Load())
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

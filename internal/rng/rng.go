@@ -7,12 +7,26 @@
 // splitmix64 so that correlated integer seeds still produce well-mixed
 // streams. The package deliberately avoids math/rand so that simulator
 // results cannot drift with Go releases.
+//
+// # Concurrency
+//
+// A Rand is NOT safe for concurrent use: Uint64 mutates the four-word
+// state without synchronization, and adding a lock would both slow the
+// hot path and make draw order (hence results) depend on goroutine
+// scheduling. The rule for concurrent code is therefore structural:
+// every goroutine, simulation cell, core, or component owns its own
+// Rand, constructed up front from the experiment seed via New, Split,
+// or Derive. Distinct streams built that way are statistically
+// independent (tested in rng_test.go), so per-cell results never depend
+// on how many cells run concurrently or in what order they finish —
+// the property the parallel experiment engine relies on.
 package rng
 
 import "math"
 
 // Rand is a deterministic xoshiro256** generator. The zero value is not
-// valid; construct with New.
+// valid; construct with New. A Rand must not be shared across
+// goroutines; derive one stream per owner with New, Split, or Derive.
 type Rand struct {
 	s [4]uint64
 }
@@ -45,8 +59,41 @@ func New(seed uint64) *Rand {
 
 // Split derives a new independent generator from this one. It is used to
 // give each core, bank, or workload its own stream without sharing state.
+// Split advances the parent stream, so it must be called from the
+// goroutine that owns the parent.
 func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+// Derive mixes a base seed with derivation keys into a new seed. It is
+// the canonical way to hand a sub-stream to a simulation cell, worker,
+// or component identified by a tuple of small integers: streams built
+// from New(Derive(seed, k...)) for distinct key tuples are independent
+// of each other and of New(seed) itself. Derive is a pure function of
+// its arguments — unlike Split it reads no stream state, so concurrent
+// cells can derive their seeds without synchronization or ordering.
+func Derive(seed uint64, keys ...uint64) uint64 {
+	state := seed
+	out := splitmix64(&state)
+	for _, k := range keys {
+		// Multiplying by the splitmix increment decorrelates small
+		// adjacent keys (0,1,2,…) before they are absorbed.
+		state ^= k * 0x9e3779b97f4a7c15
+		out ^= splitmix64(&state)
+	}
+	return out
+}
+
+// HashString folds a string into a 64-bit derivation key (FNV-1a), for
+// use with Derive when a sub-stream is identified by a name (a workload
+// or scheme) rather than an index.
+func HashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

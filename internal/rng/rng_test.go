@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -158,6 +159,120 @@ func TestZipfPanicsOnBadParams(t *testing.T) {
 		}
 	}()
 	NewZipf(New(1), 1.0, 1, 10)
+}
+
+func TestDerivePureAndDeterministic(t *testing.T) {
+	a := Derive(42, 1, 2, 3)
+	b := Derive(42, 1, 2, 3)
+	if a != b {
+		t.Fatal("Derive is not a pure function of its arguments")
+	}
+	if Derive(42) == Derive(43) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestDeriveKeySensitivity(t *testing.T) {
+	// Every distinct key tuple over a dense grid of small integers —
+	// exactly the shape of (workload, scheme, threshold) cell keys —
+	// must map to a distinct seed, including tuples that differ only in
+	// arity or only by which position holds a value.
+	seen := make(map[uint64][3]uint64)
+	for i := uint64(0); i < 40; i++ {
+		for j := uint64(0); j < 40; j++ {
+			for k := uint64(0); k < 8; k++ {
+				s := Derive(7, i, j, k)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("Derive(7,%d,%d,%d) collides with Derive(7,%v)", i, j, k, prev)
+				}
+				seen[s] = [3]uint64{i, j, k}
+			}
+		}
+	}
+	if Derive(7) == Derive(7, 0) || Derive(7, 0) == Derive(7, 0, 0) {
+		t.Fatal("arity not absorbed")
+	}
+	if Derive(7, 1, 0) == Derive(7, 0, 1) {
+		t.Fatal("key order not absorbed")
+	}
+}
+
+// independent checks that two streams look unrelated: no identical draw
+// at the same index, and the XOR of paired draws has balanced bits (a
+// correlated pair would bias the XOR toward zero or toward the shared
+// pattern).
+func independent(t *testing.T, label string, a, b *Rand) {
+	t.Helper()
+	const draws = 1 << 14
+	var ones int
+	for i := 0; i < draws; i++ {
+		x, y := a.Uint64(), b.Uint64()
+		if x == y {
+			t.Fatalf("%s: identical draw at index %d", label, i)
+		}
+		for v := x ^ y; v != 0; v &= v - 1 {
+			ones++
+		}
+	}
+	mean := float64(ones) / float64(draws)
+	if math.Abs(mean-32) > 0.5 {
+		t.Errorf("%s: XOR bit density %.3f bits/draw, want ~32 (correlated streams)", label, mean)
+	}
+}
+
+func TestDerivedStreamsIndependent(t *testing.T) {
+	const seed = 0x41515541
+	independent(t, "base vs derived", New(seed), New(Derive(seed, 1)))
+	independent(t, "sibling cells", New(Derive(seed, 1)), New(Derive(seed, 2)))
+	independent(t, "adjacent seeds", New(seed), New(seed+1))
+	independent(t, "named streams",
+		New(Derive(seed, HashString("lbm"))), New(Derive(seed, HashString("mcf"))))
+}
+
+func TestHashStringDistinguishesNames(t *testing.T) {
+	names := []string{"", "lbm", "mcf", "xz", "wrf", "mix01", "mix16", "aqua-sram", "aqua-memmapped"}
+	seen := make(map[uint64]string)
+	for _, n := range names {
+		h := HashString(n)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("HashString(%q) == HashString(%q)", n, prev)
+		}
+		seen[h] = n
+	}
+}
+
+func TestConcurrentDerivedStreamsMatchSerial(t *testing.T) {
+	// The parallel engine's contract: a goroutine drawing from its own
+	// derived stream produces the same sequence it would serially, no
+	// matter how many sibling streams run beside it.
+	const seed, workers, draws = 99, 8, 4096
+	serial := make([][]uint64, workers)
+	for w := range serial {
+		r := New(Derive(seed, uint64(w)))
+		for i := 0; i < draws; i++ {
+			serial[w] = append(serial[w], r.Uint64())
+		}
+	}
+	concurrent := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := New(Derive(seed, uint64(w)))
+			for i := 0; i < draws; i++ {
+				concurrent[w] = append(concurrent[w], r.Uint64())
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := range serial {
+		for i := range serial[w] {
+			if serial[w][i] != concurrent[w][i] {
+				t.Fatalf("stream %d diverged at draw %d under concurrency", w, i)
+			}
+		}
+	}
 }
 
 func TestUint32(t *testing.T) {

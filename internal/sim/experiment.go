@@ -2,11 +2,14 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/cpu"
 
 	"repro/internal/dram"
+	"repro/internal/flight"
 	"repro/internal/mitigation"
 	"repro/internal/workload"
 )
@@ -24,6 +27,12 @@ type ExpConfig struct {
 	// the measured IPC so hot rows hit their Table II activation targets
 	// within real time (default true; see DESIGN.md).
 	Calibrate bool
+	// Parallel bounds how many grid cells simulate concurrently (0 =
+	// GOMAXPROCS, 1 = serial). Each cell builds a fully isolated system,
+	// and results are collected by cell index, so the value changes
+	// wall-clock only — never the numbers (see DESIGN.md "Concurrency
+	// model").
+	Parallel int
 	// Geometry/Timing override the baseline system.
 	Geometry dram.Geometry
 	Timing   dram.Timing
@@ -45,6 +54,9 @@ func (e *ExpConfig) fillDefaults() {
 	if e.Seed == 0 {
 		e.Seed = 0x41515541 // "AQUA"
 	}
+	if e.Parallel <= 0 {
+		e.Parallel = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Default ExpConfig calibration flag handling: zero value means enabled.
@@ -61,15 +73,25 @@ type WorkloadRun struct {
 	NormIPC float64
 }
 
-// Runner executes workload x scheme grids with shared calibration.
+// Runner executes workload x scheme grids with shared calibration. A
+// Runner is safe for concurrent use: the per-workload calibration and
+// baseline measurement are cached under a mutex and deduplicated with
+// singleflight semantics, so concurrent cells wanting the same workload
+// block on one shared pass instead of repeating it, while each cell's
+// own simulation runs on a fully isolated system build.
 type Runner struct {
 	cfg ExpConfig
+
+	mu sync.Mutex // guards ipcCache and baseCache
 	// calibrated per-workload IPC from the baseline pass.
 	ipcCache map[string]float64
 	// measured baseline results, keyed by workload (the baseline run
 	// depends only on the workload and its calibrated IPC, not on the
 	// scheme or threshold being compared against).
 	baseCache map[string]Result
+
+	ipcFlight  flight.Group[string, float64]
+	baseFlight flight.Group[string, Result]
 }
 
 // NewRunner builds a Runner.
@@ -85,15 +107,30 @@ func NewRunner(cfg ExpConfig) *Runner {
 // measuredBaseline runs (or returns the cached) baseline measurement for a
 // workload at the given nominal IPC.
 func (r *Runner) measuredBaseline(name string, nominal float64) (Result, error) {
-	if res, ok := r.baseCache[name]; ok {
+	r.mu.Lock()
+	res, ok := r.baseCache[name]
+	r.mu.Unlock()
+	if ok {
 		return res, nil
 	}
-	res, err := r.runOnce(name, SchemeBaseline, 1000, nominal)
-	if err != nil {
-		return Result{}, err
-	}
-	r.baseCache[name] = res
-	return res, nil
+	return r.baseFlight.Do(name, func() (Result, error) {
+		// A flight that completed between the cache miss and Do may have
+		// already stored the result.
+		r.mu.Lock()
+		res, ok := r.baseCache[name]
+		r.mu.Unlock()
+		if ok {
+			return res, nil
+		}
+		res, err := r.runOnce(name, SchemeBaseline, 1000, nominal)
+		if err != nil {
+			return Result{}, err
+		}
+		r.mu.Lock()
+		r.baseCache[name] = res
+		r.mu.Unlock()
+		return res, nil
+	})
 }
 
 // Config returns the effective experiment configuration.
@@ -166,22 +203,55 @@ func (r *Runner) streamsFor(name string, nominalIPC float64) ([]cpu.Stream, erro
 
 // baselineIPC returns (and caches) the calibrated baseline IPC for a case.
 func (r *Runner) baselineIPC(name string) (float64, error) {
-	if ipc, ok := r.ipcCache[name]; ok {
+	r.mu.Lock()
+	ipc, ok := r.ipcCache[name]
+	r.mu.Unlock()
+	if ok {
 		return ipc, nil
 	}
-	res, err := r.runOnce(name, SchemeBaseline, 1000, 1.0)
+	return r.ipcFlight.Do(name, func() (float64, error) {
+		r.mu.Lock()
+		ipc, ok := r.ipcCache[name]
+		r.mu.Unlock()
+		if ok {
+			return ipc, nil
+		}
+		res, err := r.runOnce(name, SchemeBaseline, 1000, 1.0)
+		if err != nil {
+			return 0, err
+		}
+		ipc = res.IPC
+		if ipc <= 0.01 {
+			ipc = 0.01
+		}
+		if ipc > 2 {
+			ipc = 2
+		}
+		r.mu.Lock()
+		r.ipcCache[name] = ipc
+		r.mu.Unlock()
+		return ipc, nil
+	})
+}
+
+// baseline resolves the shared per-workload work — the calibration pass
+// (when enabled) and the baseline measurement — and returns the baseline
+// result plus the nominal IPC every cell of this workload simulates at.
+// Concurrent callers for the same workload share one execution.
+func (r *Runner) baseline(name string) (Result, float64, error) {
+	nominal := 1.0
+	if r.cfg.Calibrate {
+		ipc, err := r.baselineIPC(name)
+		if err != nil {
+			return Result{}, 0, err
+		}
+		nominal = ipc
+	}
+	base, err := r.measuredBaseline(name, nominal)
 	if err != nil {
-		return 0, err
+		return Result{}, 0, err
 	}
-	ipc := res.IPC
-	if ipc <= 0.01 {
-		ipc = 0.01
-	}
-	if ipc > 2 {
-		ipc = 2
-	}
-	r.ipcCache[name] = ipc
-	return ipc, nil
+	return base, nominal, nil
 }
 
 // runOnce builds and runs one system.
@@ -215,15 +285,7 @@ func (r *Runner) runVariantOnce(name string, scheme Scheme, trh int64, nominalIP
 // RunVariant measures one workload under a scheme with structural
 // overrides, normalized against the unmodified baseline.
 func (r *Runner) RunVariant(name string, scheme Scheme, trh int64, overrides Config) (WorkloadRun, error) {
-	nominal := 1.0
-	if r.cfg.Calibrate {
-		ipc, err := r.baselineIPC(name)
-		if err != nil {
-			return WorkloadRun{}, err
-		}
-		nominal = ipc
-	}
-	base, err := r.measuredBaseline(name, nominal)
+	base, nominal, err := r.baseline(name)
 	if err != nil {
 		return WorkloadRun{}, err
 	}
@@ -241,15 +303,7 @@ func (r *Runner) RunVariant(name string, scheme Scheme, trh int64, overrides Con
 // Run measures one workload under one scheme at the given threshold,
 // returning the scheme result and the normalized IPC vs the baseline.
 func (r *Runner) Run(name string, scheme Scheme, trh int64) (WorkloadRun, error) {
-	nominal := 1.0
-	if r.cfg.Calibrate {
-		ipc, err := r.baselineIPC(name)
-		if err != nil {
-			return WorkloadRun{}, err
-		}
-		nominal = ipc
-	}
-	base, err := r.measuredBaseline(name, nominal)
+	base, nominal, err := r.baseline(name)
 	if err != nil {
 		return WorkloadRun{}, err
 	}
@@ -281,38 +335,40 @@ type GridResult struct {
 	Cells    []WorkloadRun
 }
 
-// RunGrid runs the full grid.
+// RunGrid runs the full grid: every (workload, cell) pair fans out to
+// the worker pool (cfg.Parallel wide), each on its own isolated system
+// build, with the per-workload calibration and baseline deduplicated
+// across concurrent cells. Results land in preallocated slots addressed
+// by (workload index, cell index), so the returned grid — and anything
+// rendered from it — is byte-identical to a serial run regardless of
+// completion order.
 func (r *Runner) RunGrid(names []string, cells []GridCell) ([]GridResult, error) {
-	var out []GridResult
-	for _, name := range names {
-		nominal := 1.0
-		if r.cfg.Calibrate {
-			ipc, err := r.baselineIPC(name)
+	out := make([]GridResult, len(names))
+	for i, name := range names {
+		out[i] = GridResult{Workload: name, Cells: make([]WorkloadRun, len(cells))}
+	}
+	// One task per cell, plus one per workload so baselines are resolved
+	// (and recorded in out[i].Baseline) even for an empty cell list.
+	perName := len(cells) + 1
+	err := flight.ForEach(len(names)*perName, r.cfg.Parallel, func(k int) error {
+		i, j := k/perName, k%perName
+		if j == len(cells) {
+			base, _, err := r.baseline(names[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			nominal = ipc
+			out[i].Baseline = base
+			return nil
 		}
-		base, err := r.measuredBaseline(name, nominal)
+		run, err := r.Run(names[i], cells[j].Scheme, cells[j].TRH)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gr := GridResult{Workload: name, Baseline: base}
-		for _, cell := range cells {
-			res, err := r.runOnce(name, cell.Scheme, cell.TRH, nominal)
-			if err != nil {
-				return nil, err
-			}
-			norm := 1.0
-			if base.IPC > 0 {
-				norm = res.IPC / base.IPC
-			}
-			gr.Cells = append(gr.Cells, WorkloadRun{
-				Workload: name, Scheme: cell.Scheme, TRH: cell.TRH,
-				Result: res, NormIPC: norm,
-			})
-		}
-		out = append(out, gr)
+		out[i].Cells[j] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

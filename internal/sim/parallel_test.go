@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// gridCfg is a reduced experiment: tiny window, no calibration, so the
+// serial/parallel comparison fits in CI time. (The geometry stays the
+// baseline — AQUA's quarantine reservation needs the full bank — so the
+// system build dominates; keep the grid small.)
+func gridCfg(parallel int) ExpConfig {
+	return ExpConfig{
+		Window:   150 * dram.PS(dram.Microsecond),
+		Parallel: parallel,
+	}
+}
+
+var (
+	gridNames = []string{"xz", "wrf"}
+	gridCells = []GridCell{
+		{Scheme: SchemeAquaMemMapped, TRH: 1000},
+		{Scheme: SchemeRRS, TRH: 1000},
+	}
+)
+
+func TestRunGridParallelMatchesSerial(t *testing.T) {
+	serial, err := NewRunner(gridCfg(1)).RunGrid(gridNames, gridCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewRunner(gridCfg(4)).RunGrid(gridNames, gridCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel grid diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	for i, gr := range parallel {
+		if gr.Workload != gridNames[i] {
+			t.Fatalf("grid row %d is %q, want %q (canonical order lost)", i, gr.Workload, gridNames[i])
+		}
+		if gr.Baseline.IPC <= 0 {
+			t.Fatalf("%s: baseline not resolved", gr.Workload)
+		}
+	}
+}
+
+func TestRunGridEmptyCellsStillResolvesBaselines(t *testing.T) {
+	out, err := NewRunner(gridCfg(4)).RunGrid(gridNames[:2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gr := range out {
+		if gr.Baseline.IPC <= 0 {
+			t.Fatalf("%s: baseline missing with empty cell list", gr.Workload)
+		}
+		if len(gr.Cells) != 0 {
+			t.Fatalf("%s: unexpected cells", gr.Workload)
+		}
+	}
+}
+
+// TestConcurrentRunnerOverlappingCells drives one Runner from many
+// goroutines that all want the same workload, so the calibration and
+// baseline singleflight paths are exercised under the race detector, and
+// checks every caller saw the identical result.
+func TestConcurrentRunnerOverlappingCells(t *testing.T) {
+	r := NewRunner(gridCfg(4))
+	want, err := r.Run("xz", SchemeAquaMemMapped, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewRunner(gridCfg(4))
+	const callers = 8
+	got := make([]WorkloadRun, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = fresh.Run("xz", SchemeAquaMemMapped, 1000)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("caller %d diverged from the serial result", i)
+		}
+	}
+}

@@ -103,6 +103,10 @@ const (
 // Simulation schemes (re-exported from internal/sim).
 type Scheme = sim.Scheme
 
+// GridCell is one (scheme, threshold) column of an experiment grid, used
+// with Lab.Precompute and Runner grids.
+type GridCell = sim.GridCell
+
 const (
 	SchemeBaseline      = sim.SchemeBaseline
 	SchemeAquaSRAM      = sim.SchemeAquaSRAM
