@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz bench bench-quick bench-json
+.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke
 
 all: build lint test
 
@@ -45,3 +45,9 @@ bench-json:
 	REPRO_BENCH_WORKLOADS=$${REPRO_BENCH_WORKLOADS:-spec} \
 	REPRO_BENCH_JSON=BENCH_$$(date +%F).json \
 	$(GO) test -run='^TestBenchJSON$$' -timeout 0 .
+
+# CI smoke over the hot-path measurement layer: one iteration of each
+# internal/perf microbenchmark plus the zero-allocation budget tests.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/perf
+	$(GO) test -run='ZeroAlloc' ./internal/perf ./internal/dram

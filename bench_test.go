@@ -37,6 +37,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/memctrl"
 	"repro/internal/mitigation"
+	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tracker"
@@ -392,12 +393,14 @@ func BenchmarkSection5HPower(b *testing.B) {
 // PR: paper metrics (slowdowns, migrations/64ms) plus grid wall-clock at
 // -j 1 and -j N on the same grid.
 type BenchRecord struct {
-	Date      string `json:"date"`
-	HostCores int    `json:"host_cores"`
-	WindowMS  int    `json:"window_ms"`
-	Workloads int    `json:"workloads"`
-	GridCells int    `json:"grid_cells"`
-	Jobs      int    `json:"jobs"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	HostCores  int    `json:"host_cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	WindowMS   int    `json:"window_ms"`
+	Workloads  int    `json:"workloads"`
+	GridCells  int    `json:"grid_cells"`
+	Jobs       int    `json:"jobs"`
 
 	WallSerialSec   float64 `json:"wall_serial_sec"`
 	WallParallelSec float64 `json:"wall_parallel_sec"`
@@ -407,6 +410,38 @@ type BenchRecord struct {
 	SlowdownRRS1KPct  float64 `json:"slowdown_rrs_1k_pct"`
 	MigrAquaPer64ms   float64 `json:"migrations_per_64ms_aqua"`
 	MigrRRSPer64ms    float64 `json:"migrations_per_64ms_rrs"`
+
+	// Micro holds the internal/perf hot-path microbenchmarks, keyed by
+	// pipeline layer, so per-layer regressions are visible in the
+	// trajectory even when grid wall-clock hides them.
+	Micro map[string]MicroMetric `json:"micro"`
+}
+
+// MicroMetric is one microbenchmark sample in the bench record.
+type MicroMetric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// runMicrobenches runs the internal/perf layer benchmarks through
+// testing.Benchmark and collapses each into a MicroMetric.
+func runMicrobenches() map[string]MicroMetric {
+	benches := map[string]func(*testing.B){
+		"dram_access":      perf.BenchAccess,
+		"ctrl_submit":      perf.BenchSubmit,
+		"ctrl_submitbatch": perf.BenchSubmitBatch,
+		"tracker_act":      perf.BenchTrackerACT,
+		"workload_stream":  perf.BenchGeneratorStream,
+	}
+	out := make(map[string]MicroMetric, len(benches))
+	for name, fn := range benches {
+		r := testing.Benchmark(fn)
+		out[name] = MicroMetric{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	return out
 }
 
 // TestBenchJSON records headline metrics to the file named by
@@ -483,7 +518,9 @@ func TestBenchJSON(t *testing.T) {
 
 	rec := BenchRecord{
 		Date:              time.Now().Format("2006-01-02"),
-		HostCores:         runtime.GOMAXPROCS(0),
+		GoVersion:         runtime.Version(),
+		HostCores:         runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		WindowMS:          int(opts.Window / dram.Millisecond),
 		Workloads:         len(opts.Workloads),
 		GridCells:         len(grid),
@@ -495,6 +532,7 @@ func TestBenchJSON(t *testing.T) {
 		SlowdownRRS1KPct:  (1 - rrsGM) * 100,
 		MigrAquaPer64ms:   migrAqua / n,
 		MigrRRSPer64ms:    migrRRS / n,
+		Micro:             runMicrobenches(),
 	}
 	// A 2x speedup at -j 4 is the acceptance bar, but it is only
 	// physically reachable with cores to spare; a 1-core host records

@@ -10,6 +10,12 @@
 //	figures -window 16               # simulated window in ms (default 64)
 //	figures -j 8                     # concurrent simulations (0 = all cores)
 //
+// Profiling the simulator (see DESIGN.md "Performance model"):
+//
+//	figures -cpuprofile cpu.pb.gz    # pprof CPU profile of the run
+//	figures -memprofile mem.pb.gz    # heap profile written at exit
+//	figures -trace trace.out         # runtime execution trace
+//
 // Simulation-backed outputs share one result cache, so -all simulates each
 // (workload, scheme, threshold) cell exactly once; with -j > 1 the grid
 // fans out to a worker pool, and the emitted text is byte-identical to a
@@ -21,6 +27,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro"
@@ -39,7 +48,46 @@ func main() {
 	windowMS := flag.Int("window", 64, "simulated window per run in ms")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
 	par := flag.Int("j", 0, "concurrent simulations (0 = one per core, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *figure == 0 && *table == 0 && *section == "" {
 		*all = true

@@ -207,14 +207,23 @@ type Engine struct {
 // compile-time interface check
 var _ mitigation.Mitigator = (*Engine)(nil)
 
-// New builds an AQUA engine bound to a rank. It panics on configurations
-// that cannot be laid out (e.g. an RQA larger than memory), since all
-// callers construct configurations statically.
-func New(rank *dram.Rank, cfg Config) *Engine {
-	cfg.fillDefaults()
-	geom := rank.Geometry()
-	timing := rank.Timing()
+// layout is the pure region arithmetic of an engine: how many rows the
+// RQA and (in memory-mapped mode) the FPT/RPT table strips reserve. It is
+// computed without touching DRAM or tracker state, so callers that only
+// need the software-visible region size (sim.VisibleRegion) can get it
+// without paying for an engine build.
+type layout struct {
+	rqaRows         int
+	rqaRowsPerBank  int
+	fptTableRows    int // memory-mapped mode only
+	rptTableRows    int
+	tableRowsPerBnk int
+}
 
+// layoutFor computes the region layout for a configuration. cfg must
+// already have defaults filled. It panics on configurations that cannot
+// be laid out, since all callers construct configurations statically.
+func layoutFor(geom dram.Geometry, timing dram.Timing, cfg Config) layout {
 	rqa := cfg.RQARows
 	if rqa == 0 {
 		rqa = analytic.RQAParams{
@@ -227,14 +236,53 @@ func New(rank *dram.Rank, cfg Config) *Engine {
 	if rqa < 1 {
 		panic("core: RQA must have at least one row")
 	}
+	l := layout{rqaRows: rqa, rqaRowsPerBank: ceilDiv(rqa, geom.Banks)}
+	if cfg.Mode == ModeMemMapped {
+		fptBytes := geom.Rows() * 2
+		rptBytes := rqa * 4
+		l.fptTableRows = ceilDiv(fptBytes, geom.RowBytes)
+		l.rptTableRows = ceilDiv(rptBytes, geom.RowBytes)
+		l.tableRowsPerBnk = ceilDiv(l.fptTableRows+l.rptTableRows, geom.Banks)
+	}
+	if l.rqaRowsPerBank+l.tableRowsPerBnk >= geom.RowsPerBank {
+		panic(fmt.Sprintf("core: reserved rows (%d RQA + %d table per bank) exceed bank size %d",
+			l.rqaRowsPerBank, l.tableRowsPerBnk, geom.RowsPerBank))
+	}
+	return l
+}
+
+// VisibleRowsPerBankFor returns the software-visible rows per bank an
+// engine with this configuration would leave, without building one: the
+// layout arithmetic alone, not the multi-megabyte FPT/tracker state. An
+// engine build per region query used to dominate experiment setup time.
+func VisibleRowsPerBankFor(geom dram.Geometry, timing dram.Timing, cfg Config) int {
+	cfg.fillDefaults()
+	l := layoutFor(geom, timing, cfg)
+	return geom.RowsPerBank - l.rqaRowsPerBank - l.tableRowsPerBnk
+}
+
+// New builds an AQUA engine bound to a rank. It panics on configurations
+// that cannot be laid out (e.g. an RQA larger than memory), since all
+// callers construct configurations statically.
+func New(rank *dram.Rank, cfg Config) *Engine {
+	cfg.fillDefaults()
+	geom := rank.Geometry()
+	timing := rank.Timing()
+
+	l := layoutFor(geom, timing, cfg)
+	rqa := l.rqaRows
 
 	e := &Engine{
-		cfg:     cfg,
-		rank:    rank,
-		geom:    geom,
-		rqaRows: rqa,
-		fptSlot: make([]int32, geom.Rows()),
-		rpt:     make([]rptEntry, rqa),
+		cfg:             cfg,
+		rank:            rank,
+		geom:            geom,
+		rqaRows:         rqa,
+		rqaRowsPerBank:  l.rqaRowsPerBank,
+		fptTableRows:    l.fptTableRows,
+		rptTableRows:    l.rptTableRows,
+		tableRowsPerBnk: l.tableRowsPerBnk,
+		fptSlot:         make([]int32, geom.Rows()),
+		rpt:             make([]rptEntry, rqa),
 	}
 	for i := range e.fptSlot {
 		e.fptSlot[i] = -1
@@ -242,21 +290,10 @@ func New(rank *dram.Rank, cfg Config) *Engine {
 	for i := range e.rpt {
 		e.rpt[i].epochUsed = -1
 	}
-	e.rqaRowsPerBank = ceilDiv(rqa, geom.Banks)
 
 	if cfg.Mode == ModeMemMapped {
-		fptBytes := geom.Rows() * 2
-		rptBytes := rqa * 4
-		e.fptTableRows = ceilDiv(fptBytes, geom.RowBytes)
-		e.rptTableRows = ceilDiv(rptBytes, geom.RowBytes)
-		e.tableRowsPerBnk = ceilDiv(e.fptTableRows+e.rptTableRows, geom.Banks)
 		e.bloom = bloom.New(geom.Rows(), cfg.BloomGroupSize)
 		e.fptCache = sramcache.New(cfg.FPTCacheEntries, cfg.FPTCacheWays, cfg.BloomGroupSize)
-	}
-
-	if e.rqaRowsPerBank+e.tableRowsPerBnk >= geom.RowsPerBank {
-		panic(fmt.Sprintf("core: reserved rows (%d RQA + %d table per bank) exceed bank size %d",
-			e.rqaRowsPerBank, e.tableRowsPerBnk, geom.RowsPerBank))
 	}
 
 	if cfg.Mode == ModeSRAM {
@@ -463,14 +500,15 @@ func (e *Engine) OnActivate(physRow dram.Row, at dram.PS) dram.PS {
 	// Drain activations generated by the mitigation itself (bounded: each
 	// mitigation adds a handful of ACTs, and triggering again requires
 	// another 500 on one row, so this loop terminates immediately in
-	// practice).
-	for len(e.pending) > 0 {
-		row := e.pending[0]
-		e.pending = e.pending[1:]
-		if e.art.RecordACT(row) {
-			busy += e.mitigate(row, at+busy)
+	// practice). Indexed iteration (appends during the loop extend it)
+	// with a final truncation keeps the queue's backing array reusable
+	// instead of re-slicing its capacity away.
+	for i := 0; i < len(e.pending); i++ {
+		if e.art.RecordACT(e.pending[i]) {
+			busy += e.mitigate(e.pending[i], at+busy)
 		}
 	}
+	e.pending = e.pending[:0]
 	return busy
 }
 
@@ -690,13 +728,12 @@ func (e *Engine) OnIdle(now dram.PS) dram.PS {
 		busy := t - now
 		e.stats.ChannelBusy += busy
 		// Feed the drain's own activations to the tracker.
-		for len(e.pending) > 0 {
-			row := e.pending[0]
-			e.pending = e.pending[1:]
-			if e.art.RecordACT(row) {
-				busy += e.mitigate(row, now+busy)
+		for i := 0; i < len(e.pending); i++ {
+			if e.art.RecordACT(e.pending[i]) {
+				busy += e.mitigate(e.pending[i], now+busy)
 			}
 		}
+		e.pending = e.pending[:0]
 		return busy
 	}
 	return 0

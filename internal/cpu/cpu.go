@@ -65,7 +65,10 @@ type Core struct {
 	id     int
 	stream Stream
 
-	// outstanding completion times, oldest first.
+	// outstanding completion times, oldest first. The backing array is
+	// allocated once at MLP capacity and reused for the life of the core
+	// (popping shifts in place), so the steady-state request path never
+	// allocates.
 	outstanding []dram.PS
 	// nextIssue is when the next request's compute gap has elapsed.
 	nextIssue dram.PS
@@ -85,7 +88,8 @@ func New(id int, stream Stream, cfg Config) *Core {
 	if stream == nil {
 		panic("cpu: nil stream")
 	}
-	return &Core{cfg: cfg, id: id, stream: stream}
+	return &Core{cfg: cfg, id: id, stream: stream,
+		outstanding: make([]dram.PS, 0, cfg.MLP)}
 }
 
 // ID returns the core's index.
@@ -158,7 +162,11 @@ func (c *Core) Issue(at dram.PS, submit func(row dram.Row, write bool, at dram.P
 	}
 	if len(c.outstanding) >= c.cfg.MLP {
 		oldest := c.outstanding[0]
-		c.outstanding = c.outstanding[1:]
+		// Shift in place rather than re-slicing: the re-slice walks the
+		// backing array forward until append must reallocate, turning every
+		// MLP requests into a fresh allocation on the hot path.
+		n := copy(c.outstanding, c.outstanding[1:])
+		c.outstanding = c.outstanding[:n]
 		if oldest > c.nextIssue {
 			c.stallTime += oldest - c.nextIssue
 		}

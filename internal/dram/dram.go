@@ -12,6 +12,7 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/invariant"
 )
@@ -177,32 +178,56 @@ func (g Geometry) RowOf(bank, index int) Row {
 	return Row(bank*g.RowsPerBank + index)
 }
 
-// BankOf returns the bank holding row r.
-func (g Geometry) BankOf(r Row) int { return int(r) / g.RowsPerBank }
+// BankOf returns the bank holding row r. Row decomposition runs on every
+// access and tracker update, so the power-of-two geometry the paper uses
+// (128K rows/bank) takes a shift instead of a 64-bit division.
+func (g Geometry) BankOf(r Row) int {
+	if n := g.RowsPerBank; n&(n-1) == 0 {
+		return int(r) >> uint(bits.TrailingZeros(uint(n)))
+	}
+	return int(r) / g.RowsPerBank
+}
 
 // IndexOf returns r's index within its bank.
-func (g Geometry) IndexOf(r Row) int { return int(r) % g.RowsPerBank }
+func (g Geometry) IndexOf(r Row) int {
+	if n := g.RowsPerBank; n&(n-1) == 0 {
+		return int(r) & (n - 1)
+	}
+	return int(r) % g.RowsPerBank
+}
 
 // Contains reports whether r is a valid row in this geometry.
 func (g Geometry) Contains(r Row) bool { return int(r) < g.Rows() }
 
 // Neighbors returns the rows at the given distance on either side of r in
 // the same bank (used by victim refresh and Half-Double). Rows at bank
-// edges may have fewer neighbors.
+// edges may have fewer neighbors. It allocates; hot callers use
+// NeighborPair.
 func (g Geometry) Neighbors(r Row, distance int) []Row {
+	pair, n := g.NeighborPair(r, distance)
+	out := make([]Row, n)
+	copy(out, pair[:n])
+	return out
+}
+
+// NeighborPair is the allocation-free form of Neighbors: it returns the
+// (up to two) neighbor rows in a fixed array plus the valid count. The
+// below-neighbor, when present, is always pair[0].
+func (g Geometry) NeighborPair(r Row, distance int) (pair [2]Row, n int) {
 	if distance < 1 {
 		panic("dram: neighbor distance must be >= 1")
 	}
 	bank := g.BankOf(r)
 	idx := g.IndexOf(r)
-	var out []Row
 	if idx-distance >= 0 {
-		out = append(out, g.RowOf(bank, idx-distance))
+		pair[n] = g.RowOf(bank, idx-distance)
+		n++
 	}
 	if idx+distance < g.RowsPerBank {
-		out = append(out, g.RowOf(bank, idx+distance))
+		pair[n] = g.RowOf(bank, idx+distance)
+		n++
 	}
-	return out
+	return pair, n
 }
 
 // ActListener observes every row activation as it is committed to a bank.
@@ -233,6 +258,10 @@ type Rank struct {
 
 	actCounts []uint64 // lifetime ACT count per row
 	listeners []ActListener
+	// single caches the sole listener when exactly one is registered — the
+	// common case (one tracker) — so activate makes a direct call instead
+	// of ranging over the slice.
+	single ActListener
 
 	// reservedUntil is the end of the latest channel reservation
 	// (monotonic); the memory controller's invariant hook checks accesses
@@ -316,7 +345,14 @@ func (r *Rank) Stats() RankStats { return r.stats }
 
 // Listen registers an activation listener. Listeners run synchronously in
 // registration order on every committed ACT.
-func (r *Rank) Listen(l ActListener) { r.listeners = append(r.listeners, l) }
+func (r *Rank) Listen(l ActListener) {
+	r.listeners = append(r.listeners, l)
+	if len(r.listeners) == 1 {
+		r.single = l
+	} else {
+		r.single = nil
+	}
+}
 
 // EnableInvariants installs the timing-invariant shadow checker. Every
 // committed command is verified against the windows derived from `ref` —
@@ -410,8 +446,12 @@ func (r *Rank) activate(b *bank, row Row, at PS) {
 	b.readyPRE = at + r.timing.TRCD // simplified tRAS floor
 	r.actCounts[row]++
 	r.stats.Activates++
-	for _, l := range r.listeners {
-		l(row, at)
+	if r.single != nil {
+		r.single(row, at)
+	} else {
+		for _, l := range r.listeners {
+			l(row, at)
+		}
 	}
 }
 
@@ -423,7 +463,8 @@ func (r *Rank) Access(row Row, write bool, earliest PS) (done PS, activated bool
 	if !r.geom.Contains(row) {
 		panic(fmt.Sprintf("dram: access to row %d outside geometry", row))
 	}
-	b := &r.banks[r.geom.BankOf(row)]
+	bankIdx := r.geom.BankOf(row)
+	b := &r.banks[bankIdx]
 	t := &r.timing
 
 	at := earliest
@@ -432,7 +473,7 @@ func (r *Rank) Access(row Row, write bool, earliest PS) (done PS, activated bool
 		r.stats.RowHits++
 		col := maxPS(at, b.readyCol)
 		if r.chk != nil {
-			r.checkCol(r.geom.BankOf(row), col)
+			r.checkCol(bankIdx, col)
 		}
 		data := maxPS(col+t.TCL, r.busFree)
 		r.busFree = data + t.TBL
@@ -445,7 +486,9 @@ func (r *Rank) Access(row Row, write bool, earliest PS) (done PS, activated bool
 		start := at
 		if b.hasOpen {
 			pre := maxPS(start, b.readyPRE)
-			r.notePRE(r.geom.BankOf(row), pre)
+			if r.chk != nil {
+				r.notePRE(bankIdx, pre)
+			}
 			start = pre + t.TRP
 		}
 		act := r.fawReady(maxPS(start, b.readyACT))
@@ -473,12 +516,15 @@ func (r *Rank) StreamRow(row Row, write bool, earliest PS) (done PS) {
 	if !r.geom.Contains(row) {
 		panic(fmt.Sprintf("dram: stream of row %d outside geometry", row))
 	}
-	b := &r.banks[r.geom.BankOf(row)]
+	bankIdx := r.geom.BankOf(row)
+	b := &r.banks[bankIdx]
 	t := &r.timing
 	start := earliest
 	if b.hasOpen {
 		pre := maxPS(start, b.readyPRE)
-		r.notePRE(r.geom.BankOf(row), pre)
+		if r.chk != nil {
+			r.notePRE(bankIdx, pre)
+		}
 		start = pre + t.TRP
 	}
 	act := maxPS(start, b.readyACT)

@@ -125,6 +125,45 @@ func TestNeighbors(t *testing.T) {
 	}
 }
 
+func TestNeighborPairMatchesNeighbors(t *testing.T) {
+	// Exhaustively check the allocation-free form against the slice form,
+	// on both a power-of-two and a non-power-of-two geometry (the latter
+	// exercises the div/mod fallback in BankOf/IndexOf).
+	geoms := []Geometry{
+		testGeom(),
+		{Banks: 3, RowsPerBank: 100, RowBytes: 1024, LineBytes: 64},
+	}
+	for _, g := range geoms {
+		for _, d := range []int{1, 2, 3} {
+			for r := Row(0); r < Row(g.Rows()); r++ {
+				want := g.Neighbors(r, d)
+				pair, n := g.NeighborPair(r, d)
+				if n != len(want) {
+					t.Fatalf("geom %+v row %d dist %d: count %d, want %d", g, r, d, n, len(want))
+				}
+				for i := 0; i < n; i++ {
+					if pair[i] != want[i] {
+						t.Fatalf("geom %+v row %d dist %d: pair %v, want %v", g, r, d, pair[:n], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborPairZeroAlloc(t *testing.T) {
+	g := testGeom()
+	row := g.RowOf(1, 100)
+	if avg := testing.AllocsPerRun(1000, func() {
+		pair, n := g.NeighborPair(row, 1)
+		if n != 2 || pair[0] != g.RowOf(1, 99) {
+			t.Fatal("wrong neighbors")
+		}
+	}); avg != 0 {
+		t.Fatalf("NeighborPair allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
 func TestAccessRowMissThenHit(t *testing.T) {
 	r := NewRank(testGeom(), DDR4())
 	row := r.Geometry().RowOf(0, 10)

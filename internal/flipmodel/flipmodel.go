@@ -80,7 +80,8 @@ func (m *Model) RowOpened(row dram.Row, at dram.PS) {
 	m.rollWindow(at)
 	m.opens++
 	delete(m.disturb, row) // opening restores the row's own charge
-	for _, n := range m.geom.Neighbors(row, 1) {
+	pair, np := m.geom.NeighborPair(row, 1)
+	for _, n := range pair[:np] {
 		m.disturb[n]++
 		if m.disturb[n] >= m.threshold && !m.flipped[n] {
 			m.flipped[n] = true

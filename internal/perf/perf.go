@@ -1,0 +1,169 @@
+// Package perf is the measurement layer for the simulator's single-thread
+// hot path: per-layer microbenchmarks over the request pipeline
+// (cpu.Core.Issue -> memctrl.Submit -> mitigation.Translate ->
+// dram.Rank.Access -> tracker.RecordACT) plus the zero-allocation budget
+// the steady-state path must hold.
+//
+// The benchmark bodies are exported as ordinary functions taking
+// *testing.B so two callers can share them: the package's own
+// Benchmark wrappers (run in CI with -benchtime=1x as a smoke test, and
+// by hand when optimizing), and the repository bench harness, which runs
+// them through testing.Benchmark and records ns/op and allocs/op in the
+// committed BENCH_<date>.json trajectory.
+//
+// Every benchmark builds the paper's baseline configuration (16 banks x
+// 128K rows, DDR4-2400, AQUA memory-mapped at T_RH=1K) so the numbers
+// track what figure regeneration actually executes.
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/tracker"
+	"repro/internal/workload"
+)
+
+// reqSpread is the number of distinct rows the drivers cycle through:
+// large enough to exercise row misses and tracker installs, small enough
+// that per-row counts stay far below the mitigation threshold within a
+// benchmark run's horizon.
+const reqSpread = 4096
+
+// rowPattern returns the i-th row of the driver pattern: a stride walk
+// that changes bank every request (worst case for row-buffer locality,
+// the dominant shape of tracker-relevant traffic).
+func rowPattern(geom dram.Geometry, i int) dram.Row {
+	n := i % reqSpread
+	bank := n % geom.Banks
+	idx := (n / geom.Banks) * 3
+	return geom.RowOf(bank, idx)
+}
+
+// BenchAccess measures the bare DRAM layer: one line access per op
+// against the bank state machines, no controller or mitigation above it.
+func BenchAccess(b *testing.B) {
+	rank := dram.NewRank(dram.Baseline(), dram.DDR4())
+	geom := rank.Geometry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	at := dram.PS(0)
+	for i := 0; i < b.N; i++ {
+		done, _ := rank.Access(rowPattern(geom, i), i%3 == 0, at)
+		at = done
+	}
+}
+
+// newSystem builds the benchmark system: AQUA memory-mapped at T_RH=1K
+// over the baseline rank, one core. The stream is a placeholder; drivers
+// that bypass the core feed the controller directly.
+func newSystem() *sim.System {
+	cfg := sim.Config{
+		Scheme: sim.SchemeAquaMemMapped,
+		TRH:    1000,
+		Cores:  1,
+	}
+	return sim.NewSystem(cfg, []cpu.Stream{&SyntheticStream{}})
+}
+
+// BenchSubmit measures the full per-request pipeline through the memory
+// controller: background-event scan, FPT translate, DRAM access, tracker
+// update.
+func BenchSubmit(b *testing.B) {
+	sys := newSystem()
+	geom := sys.Rank.Geometry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	at := dram.PS(0)
+	for i := 0; i < b.N; i++ {
+		done := sys.Ctrl.Submit(rowPattern(geom, i), i%3 == 0, at)
+		if done > at {
+			at = done
+		}
+	}
+}
+
+// BenchSubmitBatch measures the batched submit path: runs of requests
+// that share one background-event bounds check.
+func BenchSubmitBatch(b *testing.B) {
+	sys := newSystem()
+	geom := sys.Rank.Geometry()
+	const batch = 64
+	reqs := make([]memctrl.Request, 0, batch)
+	done := make([]dram.PS, 0, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	at := dram.PS(0)
+	for i := 0; i < b.N; i += batch {
+		reqs = reqs[:0]
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			reqs = append(reqs, memctrl.Request{Row: rowPattern(geom, i+j), Write: (i+j)%3 == 0, At: at})
+		}
+		done = sys.Ctrl.SubmitBatch(reqs, done[:0])
+		if last := done[len(done)-1]; last > at {
+			at = last
+		}
+	}
+}
+
+// BenchTrackerACT measures the aggressor tracker alone: one RecordACT
+// per op on the provisioned Misra-Gries table.
+func BenchTrackerACT(b *testing.B) {
+	geom := dram.Baseline()
+	timing := dram.DDR4()
+	tr := tracker.NewMisraGries(geom, 500, tracker.ProvisionEntries(timing, 500))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RecordACT(rowPattern(geom, i))
+	}
+}
+
+// BenchGeneratorStream measures workload synthesis: one stream.Next per
+// op on a high-MPKI SPEC workload.
+func BenchGeneratorStream(b *testing.B) {
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		b.Fatal("gcc spec missing")
+	}
+	region := workload.Region{Geom: dram.Baseline()}
+	gen := workload.NewGenerator(spec, region, 0, 0x41515541, workload.Params{})
+	s := gen.Stream(int64(b.N)+1, 0x41515541)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream exhausted early")
+		}
+	}
+}
+
+// SyntheticStream is an endless allocation-free request stream over the
+// driver row pattern; the zero-allocation budget test drives the full
+// core -> controller pipeline with it.
+type SyntheticStream struct {
+	geom dram.Geometry
+	i    int
+}
+
+// NewSyntheticStream builds a stream over the given geometry.
+func NewSyntheticStream(geom dram.Geometry) *SyntheticStream {
+	return &SyntheticStream{geom: geom}
+}
+
+// Next implements cpu.Stream.
+func (s *SyntheticStream) Next() (cpu.Request, bool) {
+	if s.geom == (dram.Geometry{}) {
+		s.geom = dram.Baseline()
+	}
+	r := cpu.Request{Row: rowPattern(s.geom, s.i), Write: s.i%3 == 0, GapInstr: 200}
+	s.i++
+	return r, true
+}

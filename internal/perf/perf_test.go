@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func BenchmarkAccess(b *testing.B)          { BenchAccess(b) }
+func BenchmarkSubmit(b *testing.B)          { BenchSubmit(b) }
+func BenchmarkSubmitBatch(b *testing.B)     { BenchSubmitBatch(b) }
+func BenchmarkTrackerACT(b *testing.B)      { BenchTrackerACT(b) }
+func BenchmarkGeneratorStream(b *testing.B) { BenchGeneratorStream(b) }
+
+// TestRequestPathZeroAlloc is the allocation budget: the steady-state
+// request path — cpu.Core.Issue through memctrl.Submit, the FPT
+// translate, the DRAM access, and the tracker update — must allocate
+// nothing once warm. Any regression here multiplies into GC pressure at
+// hundreds of millions of requests per figure run.
+func TestRequestPathZeroAlloc(t *testing.T) {
+	sys := sim.NewSystem(sim.Config{
+		Scheme: sim.SchemeAquaMemMapped,
+		TRH:    1000,
+		Cores:  1,
+	}, []cpu.Stream{NewSyntheticStream(dram.Baseline())})
+	c := sys.Cores[0]
+	submit := sys.Ctrl.Submit
+	issueOne := func() {
+		at, ok := c.NextIssueTime()
+		if !ok {
+			t.Fatal("synthetic stream exhausted")
+		}
+		c.Issue(at, submit)
+	}
+	// Warm every lazily-sized structure (miss-slot ring, tracker table,
+	// burst state) past its steady state.
+	for i := 0; i < 20000; i++ {
+		issueOne()
+	}
+	if avg := testing.AllocsPerRun(5000, issueOne); avg != 0 {
+		t.Fatalf("steady-state request path allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestWorkloadStreamZeroAlloc holds the same budget for workload
+// synthesis: stream.Next must not allocate once the stream is built.
+func TestWorkloadStreamZeroAlloc(t *testing.T) {
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("gcc spec missing")
+	}
+	gen := workload.NewGenerator(spec, workload.Region{Geom: dram.Baseline()}, 0, 1, workload.Params{})
+	s := gen.Stream(1<<40, 1)
+	for i := 0; i < 1000; i++ {
+		s.Next()
+	}
+	if avg := testing.AllocsPerRun(5000, func() { s.Next() }); avg != 0 {
+		t.Fatalf("stream.Next allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -81,17 +81,32 @@ type WorkloadRun struct {
 // own simulation runs on a fully isolated system build.
 type Runner struct {
 	cfg ExpConfig
+	// region is the software-visible address region, fixed for the
+	// Runner's geometry/timing and shared by every stream build.
+	region workload.Region
 
-	mu sync.Mutex // guards ipcCache and baseCache
+	mu sync.Mutex // guards ipcCache, baseCache and genCache
 	// calibrated per-workload IPC from the baseline pass.
 	ipcCache map[string]float64
 	// measured baseline results, keyed by workload (the baseline run
 	// depends only on the workload and its calibrated IPC, not on the
 	// scheme or threshold being compared against).
 	baseCache map[string]Result
+	// genCache shares workload generators across grid cells. A generator
+	// is a pure function of (spec, core, nominal IPC) under the Runner's
+	// fixed region/seed/params and is immutable once built, so every cell
+	// of a workload can draw fresh streams from one shared instance
+	// instead of re-deriving the hot-row placement and background set.
+	genCache map[genKey]*workload.Generator
 
 	ipcFlight  flight.Group[string, float64]
 	baseFlight flight.Group[string, Result]
+}
+
+type genKey struct {
+	spec    string
+	core    int
+	nominal float64
 }
 
 // NewRunner builds a Runner.
@@ -99,8 +114,10 @@ func NewRunner(cfg ExpConfig) *Runner {
 	cfg.fillDefaults()
 	return &Runner{
 		cfg:       cfg,
+		region:    VisibleRegion(Config{Geometry: cfg.Geometry, Timing: cfg.Timing}),
 		ipcCache:  make(map[string]float64),
 		baseCache: make(map[string]Result),
+		genCache:  make(map[genKey]*workload.Generator),
 	}
 }
 
@@ -184,21 +201,45 @@ func (r *Runner) streamsFor(name string, nominalIPC float64) ([]cpu.Stream, erro
 	if len(specs) < r.cfg.Cores {
 		return nil, fmt.Errorf("sim: case %q has %d specs for %d cores", name, len(specs), r.cfg.Cores)
 	}
-	region := VisibleRegion(Config{Geometry: r.cfg.Geometry, Timing: r.cfg.Timing})
+	windowInstr := float64(r.cfg.Window) / 1e12 * 3e9 * nominalIPC
+	out := make([]cpu.Stream, r.cfg.Cores)
+	for i := 0; i < r.cfg.Cores; i++ {
+		spec := specs[i]
+		gen := r.generator(spec, i, nominalIPC)
+		reqs := int64(windowInstr*spec.MPKI/1000) + 16
+		out[i] = gen.Stream(reqs, r.cfg.Seed+uint64(i)*7919)
+	}
+	return out, nil
+}
+
+// generator returns the shared generator for (spec, core, nominal IPC),
+// building it on first use. Generators are immutable after construction
+// and streams carry their own RNG state, so sharing one across concurrent
+// cells cannot couple their results.
+func (r *Runner) generator(spec workload.Spec, coreIdx int, nominalIPC float64) *workload.Generator {
+	key := genKey{spec: spec.Name, core: coreIdx, nominal: nominalIPC}
+	r.mu.Lock()
+	gen, ok := r.genCache[key]
+	r.mu.Unlock()
+	if ok {
+		return gen
+	}
 	params := workload.Params{
 		EpochLength: r.cfg.Timing.TREFW,
 		NominalIPC:  nominalIPC,
 		Cores:       r.cfg.Cores,
 	}
-	windowInstr := float64(r.cfg.Window) / 1e12 * 3e9 * nominalIPC
-	out := make([]cpu.Stream, r.cfg.Cores)
-	for i := 0; i < r.cfg.Cores; i++ {
-		spec := specs[i]
-		gen := workload.NewGenerator(spec, region, i, r.cfg.Seed, params)
-		reqs := int64(windowInstr*spec.MPKI/1000) + 16
-		out[i] = gen.Stream(reqs, r.cfg.Seed+uint64(i)*7919)
+	gen = workload.NewGenerator(spec, r.region, coreIdx, r.cfg.Seed, params)
+	r.mu.Lock()
+	// A concurrent builder may have won the race; keep the first instance
+	// (both are identical by construction).
+	if prior, ok := r.genCache[key]; ok {
+		gen = prior
+	} else {
+		r.genCache[key] = gen
 	}
-	return out, nil
+	r.mu.Unlock()
+	return gen
 }
 
 // baselineIPC returns (and caches) the calibrated baseline IPC for a case.

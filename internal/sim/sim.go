@@ -165,9 +165,9 @@ type System struct {
 // memory).
 func VisibleRegion(cfg Config) workload.Region {
 	cfg.fillDefaults()
-	probeRank := dram.NewRank(cfg.Geometry, cfg.Timing)
-	probe := core.New(probeRank, core.Config{TRH: 2, Mode: core.ModeMemMapped})
-	return workload.Region{Geom: cfg.Geometry, VisibleRowsPerBank: probe.VisibleRowsPerBank()}
+	visible := core.VisibleRowsPerBankFor(cfg.Geometry, cfg.Timing,
+		core.Config{TRH: 2, Mode: core.ModeMemMapped})
+	return workload.Region{Geom: cfg.Geometry, VisibleRowsPerBank: visible}
 }
 
 // NewSystem wires a system; streams[i] drives core i. len(streams) must

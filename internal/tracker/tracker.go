@@ -64,11 +64,16 @@ type MisraGries struct {
 	threshold int64
 	capacity  int
 	banks     []mgBank
+	// pos is the dense row -> heap-position index shared by all banks
+	// (each row belongs to exactly one bank), -1 when untracked. A flat
+	// array keyed by Row replaces the per-bank hash map: RecordACT runs
+	// once per activation, and the array probe is branch-predictable and
+	// allocation-free where the map was neither.
+	pos []int32
 }
 
 type mgBank struct {
-	heap  []entry          // min-heap on count
-	index map[dram.Row]int // row -> heap position
+	heap  []entry // min-heap on count
 	spill int64
 }
 
@@ -88,17 +93,18 @@ func NewMisraGries(geom dram.Geometry, threshold int64, entriesPerBank int) *Mis
 		threshold: threshold,
 		capacity:  entriesPerBank,
 		banks:     make([]mgBank, geom.Banks),
+		pos:       make([]int32, geom.Rows()),
+	}
+	for i := range t.pos {
+		t.pos[i] = -1
 	}
 	for i := range t.banks {
-		t.banks[i] = mgBank{
-			heap:  make([]entry, 0, entriesPerBank),
-			index: make(map[dram.Row]int, entriesPerBank),
-		}
+		t.banks[i] = mgBank{heap: make([]entry, 0, entriesPerBank)}
 	}
 	return t
 }
 
-// heap helpers: min-heap ordered by (count, row) with the index map kept
+// heap helpers: min-heap ordered by (count, row) with the dense index kept
 // in sync. The row id breaks count ties so the eviction victim is a
 // canonical function of the table contents — without it, which of several
 // minimum-count entries sat at the root depended on insertion history,
@@ -112,24 +118,24 @@ func (b *mgBank) less(i, j int) bool {
 	return b.heap[i].row < b.heap[j].row
 }
 
-func (b *mgBank) swap(i, j int) {
+func (t *MisraGries) swap(b *mgBank, i, j int) {
 	b.heap[i], b.heap[j] = b.heap[j], b.heap[i]
-	b.index[b.heap[i].row] = i
-	b.index[b.heap[j].row] = j
+	t.pos[b.heap[i].row] = int32(i)
+	t.pos[b.heap[j].row] = int32(j)
 }
 
-func (b *mgBank) siftUp(i int) {
+func (t *MisraGries) siftUp(b *mgBank, i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !b.less(i, parent) {
 			return
 		}
-		b.swap(i, parent)
+		t.swap(b, i, parent)
 		i = parent
 	}
 }
 
-func (b *mgBank) siftDown(i int) {
+func (t *MisraGries) siftDown(b *mgBank, i int) {
 	n := len(b.heap)
 	for {
 		left, right := 2*i+1, 2*i+2
@@ -143,7 +149,7 @@ func (b *mgBank) siftDown(i int) {
 		if smallest == i {
 			return
 		}
-		b.swap(i, smallest)
+		t.swap(b, i, smallest)
 		i = smallest
 	}
 }
@@ -171,10 +177,10 @@ func (t *MisraGries) Threshold() int64 { return t.threshold }
 // RecordACT implements Tracker.
 func (t *MisraGries) RecordACT(row dram.Row) bool {
 	b := &t.banks[t.geom.BankOf(row)]
-	if pos, ok := b.index[row]; ok {
+	if pos := t.pos[row]; pos >= 0 {
 		b.heap[pos].count++
 		newCount := b.heap[pos].count
-		b.siftDown(pos)
+		t.siftDown(b, int(pos))
 		return newCount%t.threshold == 0
 	}
 	if len(b.heap) < t.capacity {
@@ -182,8 +188,8 @@ func (t *MisraGries) RecordACT(row dram.Row) bool {
 		// immediately cross the threshold (the spurious-mitigation path).
 		c := b.spill + 1
 		b.heap = append(b.heap, entry{row: row, count: c})
-		b.index[row] = len(b.heap) - 1
-		b.siftUp(len(b.heap) - 1)
+		t.pos[row] = int32(len(b.heap) - 1)
+		t.siftUp(b, len(b.heap)-1)
 		return c%t.threshold == 0
 	}
 	// Table full: bump the spill counter; once it catches up with the
@@ -197,24 +203,28 @@ func (t *MisraGries) RecordACT(row dram.Row) bool {
 	b.spill++
 	if b.spill >= b.heap[0].count {
 		evicted := b.heap[0].count
-		delete(b.index, b.heap[0].row)
+		t.pos[b.heap[0].row] = -1
 		c := b.spill
 		b.heap[0] = entry{row: row, count: c}
-		b.index[row] = 0
-		b.siftDown(0)
+		t.pos[row] = 0
+		t.siftDown(b, 0)
 		b.spill = evicted
 		return c%t.threshold == 0
 	}
 	return false
 }
 
-// Reset implements Tracker.
+// Reset implements Tracker. The dense index is un-marked entry by entry
+// (bounded by table occupancy) rather than wholesale, so a reset costs
+// O(tracked rows), not O(all rows).
 func (t *MisraGries) Reset() {
 	for i := range t.banks {
 		b := &t.banks[i]
+		for _, e := range b.heap {
+			t.pos[e.row] = -1
+		}
 		b.heap = b.heap[:0]
 		b.spill = 0
-		clear(b.index)
 	}
 }
 
@@ -222,7 +232,7 @@ func (t *MisraGries) Reset() {
 // untracked); exposed for tests.
 func (t *MisraGries) EstimatedCount(row dram.Row) int64 {
 	b := &t.banks[t.geom.BankOf(row)]
-	if pos, ok := b.index[row]; ok {
+	if pos := t.pos[row]; pos >= 0 {
 		return b.heap[pos].count
 	}
 	return 0
@@ -288,11 +298,16 @@ type Hydra struct {
 	threshold  int64
 	groupShift uint // rows per group = 1<<groupShift
 	groups     []int64
-	split      map[dram.Row]int64 // materialized per-row counters
+	// split holds the materialized per-row counters as a dense array keyed
+	// by flat Row; 0 means "not yet materialized" (sound as a sentinel:
+	// a materialized counter starts at the split-time group count >= 1 and
+	// only ever increments).
+	split []int64
 	// splitSeed records the group counter value at split time; every
 	// member row's counter is lazily seeded with it (a sound
-	// over-approximation of the row's pre-split count).
-	splitSeed map[uint32]int64
+	// over-approximation of the row's pre-split count). A zero seed means
+	// the group has not split (a split seed is always >= 1).
+	splitSeed []int64
 	// DRAMLookups counts accesses that had to consult the in-DRAM row
 	// counters (a proxy for Hydra's extra memory traffic).
 	DRAMLookups int64
@@ -315,8 +330,8 @@ func NewHydra(geom dram.Geometry, threshold int64, groupSize int) *Hydra {
 		threshold:  threshold,
 		groupShift: shift,
 		groups:     make([]int64, nGroups),
-		split:      make(map[dram.Row]int64),
-		splitSeed:  make(map[uint32]int64),
+		split:      make([]int64, geom.Rows()),
+		splitSeed:  make([]int64, nGroups),
 	}
 }
 
@@ -333,10 +348,10 @@ func (t *Hydra) groupOf(row dram.Row) uint32 { return uint32(row) >> t.groupShif
 // reaches the threshold).
 func (t *Hydra) RecordACT(row dram.Row) bool {
 	g := t.groupOf(row)
-	if seed, isSplit := t.splitSeed[g]; isSplit {
+	if seed := t.splitSeed[g]; seed > 0 {
 		t.DRAMLookups++
-		c, tracked := t.split[row]
-		if !tracked {
+		c := t.split[row]
+		if c == 0 {
 			c = seed // lazy seeding with the split-time group count
 		}
 		c++

@@ -98,7 +98,8 @@ func (e *Engine) OnActivate(physRow dram.Row, at dram.PS) dram.PS {
 	t := at
 	trc := e.rank.Timing().TRC
 	for d := 1; d <= e.cfg.RefreshDistance; d++ {
-		for _, victim := range e.geom.Neighbors(physRow, d) {
+		pair, n := e.geom.NeighborPair(physRow, d)
+		for _, victim := range pair[:n] {
 			// A targeted row refresh is an activate+precharge of the
 			// victim: one tRC of bank time.
 			t += trc

@@ -277,12 +277,18 @@ func (g *Generator) PHot() float64 { return g.pHot }
 
 // Stream returns a fresh deterministic request stream of n requests.
 func (g *Generator) Stream(n int64, seed uint64) cpu.Stream {
-	return &stream{
+	s := &stream{
 		g:      g,
 		r:      rng.New(seed ^ hashName(g.spec.Name) ^ 0x53545245),
-		zipf:   nil,
 		remain: n,
 	}
+	if len(g.background) > 0 {
+		// Constructing the Zipf sampler consumes no RNG draws, so building
+		// it eagerly keeps the draw sequence identical to the old lazy path
+		// while moving the allocation off the steady-state request path.
+		s.zipf = rng.NewZipf(s.r, 1.2, 8, uint64(len(g.background)-1))
+	}
+	return s
 }
 
 type stream struct {
@@ -314,9 +320,6 @@ func (s *stream) Next() (cpu.Request, bool) {
 		row = g.hot[pickWeighted(g.cum, s.r)].row
 	default:
 		if len(g.background) > 0 {
-			if s.zipf == nil {
-				s.zipf = rng.NewZipf(s.r, 1.2, 8, uint64(len(g.background)-1))
-			}
 			row = g.background[int(s.zipf.Uint64())]
 		} else {
 			row = g.region.RowAt(s.r.Intn(g.region.VisibleRows()))
