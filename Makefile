@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke
+.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke fault-smoke
 
 all: build lint test
 
@@ -51,3 +51,23 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/perf
 	$(GO) test -run='ZeroAlloc' ./internal/perf ./internal/dram
+
+# Fault-matrix smoke (see DESIGN.md "Failure model & graceful
+# degradation"): an injected panicking cell must not abort the run — the
+# process finishes, names the cell in the failure summary, and exits 1 —
+# and an injected RQA overflow must degrade to the victim-refresh
+# fallback and be reported, not crash.
+fault-smoke:
+	@echo "--- panic cell: run completes, reports the cell, exits non-zero"
+	@out=$$($(GO) run ./cmd/figures -workloads spec -window 1 -j 4 -figure 7 \
+		-faults 'xz/rrs/1000=panic@once:0' 2>&1); code=$$?; \
+	echo "$$out" | tail -6; \
+	test $$code -ne 0 || { echo "FAIL: expected non-zero exit"; exit 1; }; \
+	echo "$$out" | grep -q 'Failure summary' || { echo "FAIL: no failure summary"; exit 1; }; \
+	echo "$$out" | grep -q 'xz/rrs/1000' || { echo "FAIL: failed cell not named"; exit 1; }
+	@echo "--- rqa-overflow cell: run completes and reports the degraded mitigation"
+	@out=$$($(GO) run ./cmd/aquasim -workload lbm -scheme aqua-memmapped -trh 125 -window 1 \
+		-faults 'lbm/aqua-memmapped/125=rqa-overflow@p:1' 2>&1) || { echo "$$out"; echo "FAIL: aquasim exited non-zero"; exit 1; }; \
+	echo "$$out" | grep 'faults injected'; \
+	echo "$$out" | grep -q 'overflow fallbacks' || { echo "FAIL: overflow fallback not reported"; exit 1; }
+	@echo "fault-smoke OK"

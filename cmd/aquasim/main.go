@@ -6,6 +6,8 @@
 //
 //	aquasim -workload lbm -scheme aqua-memmapped -trh 1000
 //	aquasim -workload mix03 -scheme rrs -trh 1000 -window 16
+//	aquasim -faults '*/*/*=ecc-flip@p:0.01' -workload lbm
+//	aquasim -timeout 2m -workload mix03
 //	aquasim -list
 //
 // Schemes: baseline, aqua-sram, aqua-memmapped, rrs, blockhammer,
@@ -13,7 +15,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +27,7 @@ import (
 
 	"repro"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/mitigation"
 	"repro/internal/sim"
 )
@@ -45,6 +50,8 @@ func main() {
 	trh := flag.Int64("trh", 1000, "Rowhammer threshold T_RH")
 	windowMS := flag.Int("window", 64, "simulated window in ms")
 	seed := flag.Uint64("seed", 0, "experiment seed")
+	faultSpec := flag.String("faults", "", "fault-injection rules, e.g. 'lbm/aqua-memmapped/1000=ecc-flip@p:0.01'")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this wall-clock duration (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	list := flag.Bool("list", false, "list workloads and schemes")
 	flag.Parse()
@@ -71,15 +78,35 @@ func main() {
 		log.Fatalf("unknown scheme %q (try -list)", *scheme)
 	}
 
-	runner := sim.NewRunner(sim.ExpConfig{
+	rules, err := fault.ParseRules(*faultSpec)
+	if err != nil {
+		log.Fatalf("-faults: %v", err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	runner, err := sim.NewRunnerE(sim.ExpConfig{
 		Window:    dram.PS(*windowMS) * dram.Millisecond,
 		Seed:      *seed,
 		Calibrate: true,
+		Faults:    rules,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	start := time.Now()
-	run, err := runner.Run(*workload, sch, *trh)
+	run, err := runner.RunCtx(ctx, *workload, sch, *trh)
 	if err != nil {
+		var ce *sim.CellError
+		if errors.As(err, &ce) && len(ce.Stack) > 0 {
+			log.Printf("%v", ce)
+			log.Fatalf("recovered panic stack:\n%s", ce.Stack)
+		}
 		log.Fatal(err)
 	}
 
@@ -109,7 +136,8 @@ func main() {
 				"singleton":      bd.Singleton,
 				"dram":           bd.DRAM,
 			},
-			"wall_time": time.Since(start).String(),
+			"wall_time":       time.Since(start).String(),
+			"faults_injected": res.FaultStats.Injected,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -150,6 +178,10 @@ func main() {
 		if classes != "" {
 			fmt.Printf("lookup classes %s\n", classes)
 		}
+	}
+	if fs := res.FaultStats; fs.Injected > 0 {
+		fmt.Printf("faults injected %d (migration aborts %d, overflow fallbacks %d, refresh collisions %d)\n",
+			fs.Injected, st.MigrationAborts, st.OverflowFallbacks, res.CtrlStats.RefreshCollisions)
 	}
 	fmt.Printf("wall time       %s\n", time.Since(start).Round(time.Millisecond))
 }

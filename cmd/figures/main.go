@@ -10,6 +10,16 @@
 //	figures -window 16               # simulated window in ms (default 64)
 //	figures -j 8                     # concurrent simulations (0 = all cores)
 //
+// Robustness (see DESIGN.md "Failure model & graceful degradation"):
+//
+//	figures -faults 'xz/rrs/1000=panic@once:0'   # deterministic fault injection
+//	figures -timeout 10m                         # cancel the whole run after a deadline
+//	figures -resume run.ckpt                     # checkpoint completed cells; resume after interrupt
+//
+// A failing cell no longer aborts the run: every figure that doesn't
+// depend on it still renders byte-identically, failed figures are listed
+// in a summary table, and the exit status is 1.
+//
 // Profiling the simulator (see DESIGN.md "Performance model"):
 //
 //	figures -cpuprofile cpu.pb.gz    # pprof CPU profile of the run
@@ -23,6 +33,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,9 +46,18 @@ import (
 
 	"repro"
 	"repro/internal/dram"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 func main() {
+	// Indirection so deferred cleanup (profiles, checkpoint close) runs
+	// even when the process exits non-zero for failed cells.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 
@@ -48,6 +69,9 @@ func main() {
 	windowMS := flag.Int("window", 64, "simulated window per run in ms")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
 	par := flag.Int("j", 0, "concurrent simulations (0 = one per core, 1 = serial)")
+	faultSpec := flag.String("faults", "", "fault-injection rules, e.g. 'xz/rrs/1000=panic@once:0;*/aqua-memmapped/*=ecc-flip@p:0.01'")
+	timeout := flag.Duration("timeout", 0, "cancel the whole run after this wall-clock duration (0 = none)")
+	resume := flag.String("resume", "", "checkpoint file: completed cells are persisted here and served on re-run")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -93,10 +117,23 @@ func main() {
 		*all = true
 	}
 
+	rules, err := fault.ParseRules(*faultSpec)
+	if err != nil {
+		log.Fatalf("-faults: %v", err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := repro.LabOptions{
 		Window:   dram.PS(*windowMS) * dram.Millisecond,
 		Seed:     *seed,
 		Parallel: *par,
+		Faults:   rules,
+		Context:  ctx,
 	}
 	switch *workloads {
 	case "all":
@@ -107,6 +144,19 @@ func main() {
 		log.Fatalf("unknown workload set %q", *workloads)
 	}
 	lab := repro.NewLab(opts)
+	if *resume != "" {
+		if err := lab.AttachCheckpoint(*resume); err != nil {
+			log.Fatalf("-resume: %v", err)
+		}
+		defer func() {
+			if hits := lab.CheckpointHits(); hits > 0 {
+				fmt.Fprintf(os.Stderr, "[%d results served from checkpoint %s]\n", hits, *resume)
+			}
+			if err := lab.CloseCheckpoint(); err != nil {
+				log.Printf("checkpoint: %v", err)
+			}
+		}()
+	}
 
 	type job struct {
 		name string
@@ -136,12 +186,22 @@ func main() {
 		{"section 6c", func() (string, error) { return lab.CoRunReport("gcc") }},
 	}
 
+	cancelled := func(err error) bool {
+		return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	}
+
 	if *all {
 		// Warm the union grid once up front so the worker pool sees the
 		// whole evaluation at full width, instead of draining per figure.
+		// A failing cell is not fatal here: the figures that depend on it
+		// will report it, and every other figure still renders.
 		start := time.Now()
 		if err := lab.Precompute(repro.PaperGrid()...); err != nil {
-			log.Fatalf("precompute: %v", err)
+			if cancelled(err) {
+				log.Printf("precompute: %v", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "[precompute: %v — continuing with healthy cells]\n", err)
 		}
 		if d := time.Since(start); d > time.Second {
 			fmt.Fprintf(os.Stderr, "[grid precomputed in %s]\n\n", d.Round(time.Millisecond))
@@ -157,6 +217,11 @@ func main() {
 			(*section != "" && j.name == "section "+*section)
 	}
 
+	type failure struct {
+		name string
+		err  error
+	}
+	var failures []failure
 	ran := 0
 	for _, j := range jobs {
 		if !want(j) {
@@ -165,7 +230,15 @@ func main() {
 		start := time.Now()
 		out, err := j.fn()
 		if err != nil {
-			log.Fatalf("%s: %v", j.name, err)
+			if cancelled(err) {
+				log.Printf("%s: %v", j.name, err)
+				return 1
+			}
+			// Emit the partial run: the failed figure is skipped, every
+			// other output still renders from the healthy cells.
+			failures = append(failures, failure{j.name, err})
+			fmt.Fprintf(os.Stderr, "[%s FAILED: %v]\n\n", j.name, err)
+			continue
 		}
 		fmt.Println(out)
 		if d := time.Since(start); d > time.Second {
@@ -173,7 +246,37 @@ func main() {
 		}
 		ran++
 	}
-	if ran == 0 {
-		log.Fatalf("nothing selected: figure %d / table %d / section %q not available", *figure, *table, *section)
+	if ran == 0 && len(failures) == 0 {
+		log.Printf("nothing selected: figure %d / table %d / section %q not available", *figure, *table, *section)
+		return 1
 	}
+
+	// Degraded cells that still completed (injected hardware faults the
+	// scheme recovered from) are reported but don't fail the run.
+	if faulted := lab.FaultedCells(); len(faulted) > 0 {
+		t := stats.NewTable("Fault-injection summary: degraded cells (run completed)",
+			"Workload", "Scheme", "T_RH", "Faults injected")
+		for _, c := range faulted {
+			t.AddRow(c.Workload, c.Scheme.String(), fmt.Sprintf("%d", c.TRH), fmt.Sprintf("%d", c.Injected))
+		}
+		fmt.Println(t.String())
+	}
+
+	if len(failures) > 0 {
+		t := stats.NewTable("Failure summary: outputs lost to failed cells",
+			"Output", "Cell", "Cause")
+		for _, f := range failures {
+			cell, cause := "-", f.err.Error()
+			var ce *sim.CellError
+			if errors.As(f.err, &ce) {
+				cell = fmt.Sprintf("%s/%s/%d", ce.Workload, ce.Scheme, ce.TRH)
+				cause = ce.Err.Error()
+			}
+			t.AddRow(f.name, cell, cause)
+		}
+		fmt.Println(t.String())
+		log.Printf("%d of %d selected outputs failed", len(failures), ran+len(failures))
+		return 1
+	}
+	return 0
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/analytic"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -36,6 +38,14 @@ type LabOptions struct {
 	// cells simulate on isolated systems and the renderers read results
 	// back in canonical workload/cell order (see DESIGN.md).
 	Parallel int
+	// Faults injects deterministic faults into matching grid cells (see
+	// fault.ParseRules). Cells the rules don't match are bit-for-bit
+	// unaffected.
+	Faults *fault.Rules
+	// Context, when set, cancels in-flight and pending simulations when
+	// it is done; figure calls then return its error. Nil means
+	// context.Background().
+	Context context.Context
 }
 
 // AllWorkloads returns all 34 case names (18 SPEC + 16 mixes).
@@ -52,6 +62,7 @@ func SPECWorkloads() []string { return sim.SPECCaseNames() }
 // byte-identical to a serial run at any parallelism.
 type Lab struct {
 	opts   LabOptions
+	ctx    context.Context
 	runner *sim.Runner
 
 	mu     sync.Mutex // guards cache
@@ -79,16 +90,69 @@ func NewLab(opts LabOptions) *Lab {
 	if opts.Parallel <= 0 {
 		opts.Parallel = runtime.GOMAXPROCS(0)
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Lab{
 		opts: opts,
+		ctx:  ctx,
 		runner: sim.NewRunner(sim.ExpConfig{
 			Window:    opts.Window,
 			Seed:      opts.Seed,
 			Calibrate: !opts.NoCalibration,
 			Parallel:  opts.Parallel,
+			Faults:    opts.Faults,
 		}),
 		cache: make(map[labKey]sim.WorkloadRun),
 	}
+}
+
+// AttachCheckpoint persists completed cells to path and serves already-
+// completed cells from it, so an interrupted lab run can resume with
+// byte-identical output. The file is bound to the lab's configuration;
+// attaching one written under different options is an error.
+func (l *Lab) AttachCheckpoint(path string) error { return l.runner.AttachCheckpoint(path) }
+
+// CheckpointHits reports how many results were served from the attached
+// checkpoint instead of being recomputed.
+func (l *Lab) CheckpointHits() int64 { return l.runner.CheckpointHits() }
+
+// CloseCheckpoint flushes and closes the attached checkpoint, surfacing
+// any append error encountered during the run.
+func (l *Lab) CloseCheckpoint() error { return l.runner.CloseCheckpoint() }
+
+// FaultedCell summarizes one completed cell that had faults injected.
+type FaultedCell struct {
+	Workload string
+	Scheme   Scheme
+	TRH      int64
+	Injected int64
+}
+
+// FaultedCells lists every completed cell whose run had injected faults,
+// in canonical workload/scheme/trh order. Cells that failed outright are
+// not in the cache and are reported through CellError instead.
+func (l *Lab) FaultedCells() []FaultedCell {
+	l.mu.Lock()
+	var out []FaultedCell
+	for k, r := range l.cache {
+		if n := r.Result.FaultStats.Injected; n > 0 {
+			out = append(out, FaultedCell{Workload: k.workload, Scheme: k.scheme, TRH: k.trh, Injected: n})
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return a.TRH < b.TRH
+	})
+	return out
 }
 
 // Run measures one workload under one scheme at a threshold, caching the
@@ -102,14 +166,14 @@ func (l *Lab) Run(name string, scheme Scheme, trh int64) (sim.WorkloadRun, error
 	if ok {
 		return r, nil
 	}
-	return l.flight.Do(key, func() (sim.WorkloadRun, error) {
+	return l.flight.DoCtx(l.ctx, key, func() (sim.WorkloadRun, error) {
 		l.mu.Lock()
 		r, ok := l.cache[key]
 		l.mu.Unlock()
 		if ok {
 			return r, nil
 		}
-		r, err := l.runner.Run(name, scheme, trh)
+		r, err := l.runner.RunCtx(l.ctx, name, scheme, trh)
 		if err != nil {
 			return sim.WorkloadRun{}, err
 		}
@@ -130,7 +194,7 @@ func (l *Lab) Precompute(cells ...sim.GridCell) error {
 		return nil
 	}
 	names := l.opts.Workloads
-	return flight.ForEach(len(names)*len(cells), l.opts.Parallel, func(k int) error {
+	return flight.ForEachCtx(l.ctx, len(names)*len(cells), l.opts.Parallel, func(k int) error {
 		name, cell := names[k/len(cells)], cells[k%len(cells)]
 		_, err := l.Run(name, cell.Scheme, cell.TRH)
 		return err
@@ -359,9 +423,9 @@ func (l *Lab) SensitivityVF() (string, error) {
 	for i := range norms {
 		norms[i] = make([]float64, len(names))
 	}
-	err := flight.ForEach(len(variants)*len(names), l.opts.Parallel, func(k int) error {
+	err := flight.ForEachCtx(l.ctx, len(variants)*len(names), l.opts.Parallel, func(k int) error {
 		vi, wi := k/len(names), k%len(names)
-		r, err := l.runner.RunVariant(names[wi], SchemeAquaMemMapped, 1000, variants[vi].cfg)
+		r, err := l.runner.RunVariantCtx(l.ctx, names[wi], SchemeAquaMemMapped, 1000, variants[vi].cfg)
 		if err != nil {
 			return err
 		}
@@ -457,7 +521,7 @@ func (l *Lab) Table2() (string, error) {
 		}
 	}
 	allCounts := make([]map[int64]int, len(specNames))
-	err := flight.ForEach(len(specNames), l.opts.Parallel, func(i int) error {
+	err := flight.ForEachCtx(l.ctx, len(specNames), l.opts.Parallel, func(i int) error {
 		counts, err := l.runner.RowTierCounts(specNames[i], tiers)
 		if err != nil {
 			return err

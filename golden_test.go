@@ -52,7 +52,13 @@ func goldenRenderers() []struct {
 // renderGolden produces the concatenated renderer output for the reduced
 // serial lab.
 func renderGolden() (string, error) {
-	l := labAt(1)
+	return renderGoldenLab(labAt(1))
+}
+
+// renderGoldenLab renders every golden renderer on the given lab in the
+// canonical order (shared with the checkpoint/resume acceptance tests,
+// which must reproduce this byte stream from a resumed lab).
+func renderGoldenLab(l *Lab) (string, error) {
 	var b strings.Builder
 	for _, r := range goldenRenderers() {
 		out, err := r.fn(l)

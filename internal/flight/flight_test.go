@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -152,5 +153,264 @@ func TestForEachKeepsRunningAfterFailure(t *testing.T) {
 func TestForEachEmpty(t *testing.T) {
 	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachConvertsPanicToPanicError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(10, workers, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError lost value or stack: %+v", workers, pe)
+		}
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: panic at one index stopped the others (%d of 10 ran)", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n, workers = 100, 2
+	var dispatched atomic.Int64
+	gate := make(chan struct{})
+	busy := make(chan struct{}, workers)
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachCtx(ctx, n, workers, func(i int) error {
+			dispatched.Add(1)
+			if i < workers {
+				busy <- struct{}{}
+				<-gate
+			}
+			return nil
+		})
+	}()
+	// Both workers are now parked inside fn, so the feeder is blocked on
+	// its select; cancelling must be the only case that can complete.
+	<-busy
+	<-busy
+	cancel()
+	close(gate)
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if d := dispatched.Load(); d >= n {
+		t.Fatalf("cancellation did not stop dispatch: %d of %d indices ran", d, n)
+	}
+}
+
+func TestForEachCtxSerialPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 10, 1, func(int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) || ran.Load() != 0 {
+		t.Fatalf("pre-cancelled serial run: err=%v ran=%d", err, ran.Load())
+	}
+}
+
+func TestForEachCtxCancellationDominatesCellError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 5, 1, func(i int) error {
+		cancel()
+		return errors.New("cell failed")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v; an incomplete index set must report cancellation", err)
+	}
+}
+
+func TestGroupLeaderPanicPropagatesToWaiters(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			panic("leader died")
+		})
+	}()
+	<-started
+	var arrived atomic.Int64
+	for i := 1; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arrived.Add(1)
+			_, errs[i] = g.Do("k", func() (int, error) { return -1, nil })
+		}(i)
+	}
+	for arrived.Load() < int64(len(errs)-1) {
+		runtime.Gosched()
+	}
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("caller %d: got %v, want *PanicError from the leader's panic", i, err)
+		}
+		if pe.Value != "leader died" {
+			t.Fatalf("caller %d: wrong panic value %v", i, pe.Value)
+		}
+	}
+}
+
+func TestGroupDoCtxWaiterAbandonsOnCancel(t *testing.T) {
+	var g Group[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("leader: %d, %v (waiter cancellation must not disturb the flight)", v, err)
+		}
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := g.DoCtx(ctx, "k", func() (int, error) { return -1, nil })
+		waiterDone <- err
+	}()
+	// Let the waiter join the open flight, then cancel only its context.
+	for i := 0; i < 100; i++ {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter got %v, want context.Canceled", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestGroupDoCtxPreCancelledSkipsExecution(t *testing.T) {
+	var g Group[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := g.DoCtx(ctx, "k", func() (int, error) { ran.Add(1); return 1, nil })
+	if !errors.Is(err, context.Canceled) || ran.Load() != 0 {
+		t.Fatalf("pre-cancelled DoCtx: err=%v ran=%d", err, ran.Load())
+	}
+}
+
+func TestProtect(t *testing.T) {
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("plain")
+	if err := Protect(func() error { return sentinel }); err != sentinel {
+		t.Fatalf("got %v", err)
+	}
+	err := Protect(func() error { panic(42) })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != 42 {
+		t.Fatalf("got %v, want *PanicError{42}", err)
+	}
+}
+
+// transientErr marks itself retryable for Retry/IsTransient.
+type transientErr struct{ msg string }
+
+func (e transientErr) Error() string   { return e.msg }
+func (e transientErr) Transient() bool { return true }
+
+func TestIsTransient(t *testing.T) {
+	if IsTransient(nil) || IsTransient(errors.New("plain")) {
+		t.Fatal("non-transient errors classified as transient")
+	}
+	if !IsTransient(transientErr{"flaky"}) {
+		t.Fatal("transient marker not detected")
+	}
+	wrapped := errors.Join(errors.New("context"), transientErr{"flaky"})
+	if !IsTransient(wrapped) {
+		t.Fatal("transient marker not found through the error chain")
+	}
+}
+
+func TestRetryStopsOnSuccessAndNonTransient(t *testing.T) {
+	var calls int
+	if err := Retry(5, nil, func(int) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("success: err=%v calls=%d", err, calls)
+	}
+	calls = 0
+	hard := errors.New("hard failure")
+	if err := Retry(5, nil, func(int) error { calls++; return hard }); err != hard || calls != 1 {
+		t.Fatalf("non-transient: err=%v calls=%d (must not retry)", err, calls)
+	}
+}
+
+func TestRetryRetriesTransientWithBackoff(t *testing.T) {
+	var attempts, backoffs []int
+	err := Retry(5, func(a int) { backoffs = append(backoffs, a) }, func(a int) error {
+		attempts = append(attempts, a)
+		if a < 2 {
+			return transientErr{"flaky"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2}; len(attempts) != 3 || attempts[0] != want[0] || attempts[1] != want[1] || attempts[2] != want[2] {
+		t.Fatalf("attempt numbers %v, want %v", attempts, want)
+	}
+	if want := []int{1, 2}; len(backoffs) != 2 || backoffs[0] != want[0] || backoffs[1] != want[1] {
+		t.Fatalf("backoff ran with %v, want %v (before each re-attempt only)", backoffs, want)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	var calls int
+	err := Retry(3, nil, func(int) error { calls++; return transientErr{"always flaky"} })
+	if calls != 3 {
+		t.Fatalf("ran %d attempts, want 3", calls)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("final error %v lost its transient marker", err)
+	}
+}
+
+func TestRetryContainsPanicAsNonTransient(t *testing.T) {
+	var calls int
+	err := Retry(5, nil, func(int) error { calls++; panic("poisoned cell") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || calls != 1 {
+		t.Fatalf("err=%v calls=%d; a panic must surface once as *PanicError, not retry", err, calls)
 	}
 }

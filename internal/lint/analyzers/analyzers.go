@@ -7,6 +7,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/lint/analyzers/floatcmp"
 	"repro/internal/lint/analyzers/maporder"
+	"repro/internal/lint/analyzers/nakedgo"
 	"repro/internal/lint/analyzers/noclock"
 	"repro/internal/lint/analyzers/nodirectrand"
 )
@@ -18,5 +19,6 @@ func All() []*lint.Analyzer {
 		noclock.Analyzer,
 		maporder.Analyzer,
 		floatcmp.Analyzer,
+		nakedgo.Analyzer,
 	}
 }

@@ -1,0 +1,26 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/nakedgo"
+	"repro/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, nakedgo.Analyzer, "testdata", "a")
+}
+
+func TestScope(t *testing.T) {
+	applies := nakedgo.Analyzer.Applies
+	for _, p := range []string{"repro/internal/flight", "repro/internal/sim", "a"} {
+		if !applies(p) {
+			t.Errorf("%s spawns goroutines; must be in scope", p)
+		}
+	}
+	for _, p := range []string{"repro", "repro/cmd/figures", "repro/internal/dram"} {
+		if applies(p) {
+			t.Errorf("%s spawns no goroutines; out of scope", p)
+		}
+	}
+}

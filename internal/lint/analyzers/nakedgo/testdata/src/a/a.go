@@ -1,0 +1,42 @@
+// Package a is the nakedgo test corpus: goroutines must be func literals
+// that lexically recover; anything else is flagged.
+package a
+
+func work() {}
+
+func bad() {
+	go work()   // want `naked go statement`
+	go func() { // want `goroutine func literal has no recover`
+		work()
+	}()
+}
+
+func good(errs []error) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[0] = nil
+			}
+		}()
+		work()
+	}()
+}
+
+// ok: the recover may live in any nested literal, as long as it is
+// lexically inside the goroutine body.
+func goodNested(protect func(func())) {
+	go func() {
+		protect(func() {
+			defer func() { _ = recover() }()
+			work()
+		})
+	}()
+}
+
+// A shadowed recover is not the builtin and protects nothing.
+func shadowed() {
+	recover := func() any { return nil }
+	go func() { // want `goroutine func literal has no recover`
+		_ = recover()
+	}()
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/invariant"
 	"repro/internal/mitigation"
 )
@@ -35,6 +36,10 @@ type Config struct {
 	// shadow checker. Tests turn this on everywhere; release-mode
 	// simulation leaves it nil and pays nothing.
 	Invariants *invariant.Checker
+	// Faults, when non-nil, consults the injector for controller-level
+	// faults (RefreshCollision). The injector's methods are nil-safe, so
+	// the hook is a plain call.
+	Faults *fault.Injector
 }
 
 // Drainer is the optional background-work hook a mitigation scheme may
@@ -54,6 +59,10 @@ type Stats struct {
 	MaxLatency   dram.PS
 	Refreshes    int64
 	Epochs       int64
+	// RefreshCollisions counts refresh commands that collided with an
+	// in-flight migration's channel reservation and were re-issued after
+	// it (injected faults only; the fault-free schedule never collides).
+	RefreshCollisions int64
 }
 
 // AvgLatency returns the mean request latency.
@@ -185,7 +194,25 @@ func (c *Controller) drainBackground(at dram.PS) {
 		}
 		switch ev {
 		case evRefresh:
-			c.rank.RefreshAll(c.nextRefresh)
+			issue := c.nextRefresh
+			if c.cfg.Faults.Fire(fault.RefreshCollision, issue) {
+				// The refresh collides with an in-flight migration's channel
+				// reservation and is re-queued to issue after it ends. The
+				// re-check: the deferred refresh must still land within its
+				// own interval, or the charge model would silently skip a
+				// whole refresh command.
+				if ru := c.rank.ReservedUntil(); ru > issue {
+					issue = ru
+				}
+				c.stats.RefreshCollisions++
+				if c.chk != nil {
+					c.chk.Checkf(issue < c.nextRefresh+c.rank.Timing().TREFI,
+						"memctrl", "refresh-requeue", issue,
+						"re-queued refresh due %dps deferred past its interval to %dps",
+						c.nextRefresh, issue)
+				}
+			}
+			c.rank.RefreshAll(issue)
 			c.nextRefresh += c.rank.Timing().TREFI
 			c.stats.Refreshes++
 		case evEpoch:

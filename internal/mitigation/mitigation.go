@@ -110,6 +110,13 @@ type Stats struct {
 	// ReuseViolations counts RQA slots that had to be reused within one
 	// epoch — zero whenever the RQA is provisioned per Equation 3.
 	ReuseViolations int64
+	// MigrationAborts counts migrations torn down mid-copy and retried
+	// from scratch (injected faults only; a fault-free run never aborts).
+	MigrationAborts int64
+	// OverflowFallbacks counts mitigations that degraded to the
+	// victim-refresh fallback because the quarantine refused the aggressor
+	// (injected RQA-overflow faults).
+	OverflowFallbacks int64
 }
 
 // TotalLookups sums the per-class lookup counters.

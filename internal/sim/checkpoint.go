@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The checkpoint file is JSON-lines: a header record binding the file to
+// one experiment configuration, then one record per completed unit of
+// work (calibrated IPC, baseline result, grid cell). Records are appended
+// and synced as cells complete, so a killed run loses at most the cells
+// in flight. On resume, cached records are served instead of recomputing
+// — and because every recorded value is what the deterministic simulator
+// would produce anyway (encoding/json round-trips float64 exactly), a
+// resumed run's final output is byte-identical to an uninterrupted one.
+//
+// A truncated trailing line (the process died mid-append) is tolerated
+// and discarded; every complete line is kept.
+
+// ckptRecord is the on-disk union of all record kinds.
+type ckptRecord struct {
+	Kind string `json:"kind"`
+	// Sig is set on "header" records.
+	Sig string `json:"sig,omitempty"`
+	// Workload keys "ipc" and "base" records.
+	Workload string `json:"workload,omitempty"`
+	// IPC is set on "ipc" records.
+	IPC float64 `json:"ipc,omitempty"`
+	// Base is set on "base" records.
+	Base *Result `json:"base,omitempty"`
+	// Cell is set on "cell" records and carries its own key fields.
+	Cell *WorkloadRun `json:"cell,omitempty"`
+}
+
+type cellKey struct {
+	workload string
+	scheme   Scheme
+	trh      int64
+}
+
+// checkpoint is the in-memory mirror of one checkpoint file. All methods
+// are nil-safe: a nil *checkpoint misses every lookup and drops every
+// store, so callers need no "is checkpointing on?" branches.
+type checkpoint struct {
+	mu    sync.Mutex
+	f     *os.File
+	ipc   map[string]float64
+	base  map[string]Result
+	cells map[cellKey]WorkloadRun
+	hits  int64
+	// err records the first append failure; the run continues (losing only
+	// resumability) and the error is reported at the end.
+	err error
+}
+
+// ckptSignature derives the header string binding a checkpoint file to an
+// experiment configuration. Any field that changes the numbers is in here;
+// resuming under a different signature is refused.
+func ckptSignature(cfg ExpConfig) string {
+	return fmt.Sprintf("aqua-ckpt-v1 window=%d cores=%d seed=%#x calibrate=%t geom=%+v timing=%+v faults=%q",
+		cfg.Window, cfg.Cores, cfg.Seed, cfg.Calibrate, cfg.Geometry, cfg.Timing, cfg.Faults.String())
+}
+
+// openCheckpoint opens (or creates) the file at path, validates its header
+// against sig, loads every complete record, and leaves the file positioned
+// for appends.
+func openCheckpoint(path, sig string) (*checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c := &checkpoint{
+		f:     f,
+		ipc:   make(map[string]float64),
+		base:  make(map[string]Result),
+		cells: make(map[cellKey]WorkloadRun),
+	}
+	valid, err := c.load(sig)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Reposition after the last complete record, discarding any torn tail
+	// from a run that died mid-append.
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if valid == 0 {
+		if err := c.append(ckptRecord{Kind: "header", Sig: sig}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// load replays the file, returning the byte offset just past the last
+// complete, well-formed record.
+func (c *checkpoint) load(sig string) (valid int64, err error) {
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	sc := bufio.NewScanner(c.f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec ckptRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn or corrupt line: stop replaying here. Everything before
+			// it stands.
+			break
+		}
+		if first {
+			if rec.Kind != "header" {
+				return 0, fmt.Errorf("sim: checkpoint %s has no header", c.f.Name())
+			}
+			if rec.Sig != sig {
+				return 0, fmt.Errorf("sim: checkpoint %s was written by a different configuration\n  file: %s\n  want: %s",
+					c.f.Name(), rec.Sig, sig)
+			}
+			first = false
+		} else {
+			switch rec.Kind {
+			case "ipc":
+				c.ipc[rec.Workload] = rec.IPC
+			case "base":
+				if rec.Base != nil {
+					c.base[rec.Workload] = *rec.Base
+				}
+			case "cell":
+				if rec.Cell != nil {
+					run := *rec.Cell
+					c.cells[cellKey{run.Workload, run.Scheme, run.TRH}] = run
+				}
+			}
+		}
+		valid += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return valid, nil
+}
+
+// append marshals one record, writes it as a line, and syncs so a crash
+// after this cell completes cannot lose it. Callers serialize appends
+// (store* methods hold c.mu; openCheckpoint runs before sharing).
+func (c *checkpoint) append(rec ckptRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := c.f.Write(b); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+// record appends under the lock, remembering the first failure. Losing a
+// record only costs resumability, never correctness, so the run goes on.
+func (c *checkpoint) record(rec ckptRecord) {
+	if err := c.append(rec); err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *checkpoint) lookupIPC(name string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ipc, ok := c.ipc[name]
+	if ok {
+		c.hits++
+	}
+	return ipc, ok
+}
+
+func (c *checkpoint) storeIPC(name string, ipc float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.ipc[name]; dup {
+		return
+	}
+	c.ipc[name] = ipc
+	c.record(ckptRecord{Kind: "ipc", Workload: name, IPC: ipc})
+}
+
+func (c *checkpoint) lookupBase(name string) (Result, bool) {
+	if c == nil {
+		return Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.base[name]
+	if ok {
+		c.hits++
+	}
+	return res, ok
+}
+
+func (c *checkpoint) storeBase(name string, res Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.base[name]; dup {
+		return
+	}
+	c.base[name] = res
+	c.record(ckptRecord{Kind: "base", Workload: name, Base: &res})
+}
+
+func (c *checkpoint) lookupCell(name string, scheme Scheme, trh int64) (WorkloadRun, bool) {
+	if c == nil {
+		return WorkloadRun{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	run, ok := c.cells[cellKey{name, scheme, trh}]
+	if ok {
+		c.hits++
+	}
+	return run, ok
+}
+
+func (c *checkpoint) storeCell(run WorkloadRun) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cellKey{run.Workload, run.Scheme, run.TRH}
+	if _, dup := c.cells[k]; dup {
+		return
+	}
+	c.cells[k] = run
+	c.record(ckptRecord{Kind: "cell", Cell: &run})
+}
+
+func (c *checkpoint) close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.err
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (c *checkpoint) hitCount() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// AttachCheckpoint opens (or creates) a checkpoint file for this Runner
+// and begins serving completed cells from it and appending new ones to
+// it. The file is bound to the Runner's exact configuration — window,
+// cores, seed, geometry, timing, fault rules — and attaching a file
+// written under any other configuration is an error, because replaying
+// its records would silently change results.
+func (r *Runner) AttachCheckpoint(path string) error {
+	if r.initErr != nil {
+		return r.initErr
+	}
+	ckpt, err := openCheckpoint(path, ckptSignature(r.cfg))
+	if err != nil {
+		return err
+	}
+	r.ckpt = ckpt
+	return nil
+}
+
+// CheckpointHits reports how many lookups were served from the attached
+// checkpoint (0 when none is attached).
+func (r *Runner) CheckpointHits() int64 { return r.ckpt.hitCount() }
+
+// CloseCheckpoint flushes and closes the attached checkpoint, returning
+// the first append error encountered during the run (the run itself is
+// never failed by checkpoint I/O — a lost record only costs resumability).
+func (r *Runner) CloseCheckpoint() error {
+	err := r.ckpt.close()
+	r.ckpt = nil
+	return err
+}

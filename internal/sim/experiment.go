@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -9,8 +11,10 @@ import (
 	"repro/internal/cpu"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/mitigation"
+	"repro/internal/rng"
 	"repro/internal/workload"
 )
 
@@ -36,6 +40,16 @@ type ExpConfig struct {
 	// Geometry/Timing override the baseline system.
 	Geometry dram.Geometry
 	Timing   dram.Timing
+	// Faults maps grid cells to injected fault plans (see fault.ParseRules
+	// for the grammar). Nil means no faults anywhere. Cell-level kinds
+	// ("panic", "transient") fire before the simulation is built; hardware
+	// kinds are threaded through the system layers.
+	Faults *fault.Rules
+	// Retries bounds re-attempts for transiently failing cells (default 2
+	// re-attempts after the first try; negative disables retry). Transient
+	// fault arms are dropped on retry attempts, so an injected transient
+	// failure clears exactly the way a real one would.
+	Retries int
 }
 
 func (e *ExpConfig) fillDefaults() {
@@ -57,6 +71,27 @@ func (e *ExpConfig) fillDefaults() {
 	if e.Parallel <= 0 {
 		e.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if e.Retries == 0 {
+		e.Retries = 2
+	}
+	if e.Retries < 0 {
+		e.Retries = 0
+	}
+}
+
+// validate rejects configurations no cell could run under. It operates on
+// an already-defaulted config (NewRunner calls fillDefaults first).
+func (e *ExpConfig) validate() error {
+	if e.Window < 0 {
+		return fmt.Errorf("sim: negative window %d", e.Window)
+	}
+	if e.Cores < 1 || e.Cores > 4 {
+		return fmt.Errorf("sim: cores must be 1..4, got %d", e.Cores)
+	}
+	if err := e.Geometry.Validate(); err != nil {
+		return err
+	}
+	return e.Timing.Validate()
 }
 
 // Default ExpConfig calibration flag handling: zero value means enabled.
@@ -84,6 +119,20 @@ type Runner struct {
 	// region is the software-visible address region, fixed for the
 	// Runner's geometry/timing and shared by every stream build.
 	region workload.Region
+	// initErr records a construction failure (bad config, geometry the
+	// AQUA layout cannot host). A Runner with initErr set is inert: every
+	// cell it is asked to run fails with a CellError wrapping initErr
+	// instead of crashing the process.
+	initErr error
+	// retryBackoff, when set, is called before re-attempt n (1-based) of a
+	// transiently failing cell. Nil means retry immediately; tests hook it
+	// to count attempts. Deliberately not time-based by default — the
+	// simulator is deterministic and wall-clock sleeps are banned.
+	retryBackoff func(attempt int)
+	// ckpt, when attached, persists completed cells so an interrupted grid
+	// run can resume without recomputing them. Nil-safe: all lookups on a
+	// nil checkpoint miss.
+	ckpt *checkpoint
 
 	mu sync.Mutex // guards ipcCache, baseCache and genCache
 	// calibrated per-workload IPC from the baseline pass.
@@ -109,28 +158,87 @@ type genKey struct {
 	nominal float64
 }
 
-// NewRunner builds a Runner.
+// NewRunner builds a Runner. It never panics: an invalid configuration
+// yields an inert Runner whose cells all fail with a CellError wrapping
+// the construction error (use NewRunnerE or Err to see it directly).
 func NewRunner(cfg ExpConfig) *Runner {
 	cfg.fillDefaults()
-	return &Runner{
+	r := &Runner{
 		cfg:       cfg,
-		region:    VisibleRegion(Config{Geometry: cfg.Geometry, Timing: cfg.Timing}),
 		ipcCache:  make(map[string]float64),
 		baseCache: make(map[string]Result),
 		genCache:  make(map[genKey]*workload.Generator),
 	}
+	if err := cfg.validate(); err != nil {
+		r.initErr = err
+		return r
+	}
+	// VisibleRegion walks the AQUA table layout, which rejects geometries
+	// it cannot host by panicking; convert that into a construction error.
+	r.initErr = flight.Protect(func() error {
+		r.region = VisibleRegion(Config{Geometry: cfg.Geometry, Timing: cfg.Timing})
+		return nil
+	})
+	return r
+}
+
+// NewRunnerE is NewRunner with the construction error surfaced.
+func NewRunnerE(cfg ExpConfig) (*Runner, error) {
+	r := NewRunner(cfg)
+	return r, r.initErr
+}
+
+// Err reports the construction error, if any.
+func (r *Runner) Err() error { return r.initErr }
+
+// CellError wraps one grid cell's failure with the cell's identity, so a
+// broken cell reads as "cell xz/rrs/1000: ..." in the failure summary
+// instead of aborting the whole run.
+type CellError struct {
+	Workload string
+	Scheme   Scheme
+	TRH      int64
+	// Err is the underlying failure; a recovered panic arrives as a
+	// *flight.PanicError.
+	Err error
+	// Stack is the goroutine stack captured at a recovered panic (nil for
+	// ordinary errors).
+	Stack []byte
+}
+
+// Error implements error.
+func (c *CellError) Error() string {
+	return fmt.Sprintf("cell %s/%s/%d: %v", c.Workload, c.Scheme, c.TRH, c.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (c *CellError) Unwrap() error { return c.Err }
+
+// GridError aggregates every failed cell of a grid run, in grid order.
+// RunGrid returns it alongside the partial grid, which still holds every
+// healthy cell's result.
+type GridError struct {
+	Cells []*CellError
+}
+
+// Error implements error.
+func (g *GridError) Error() string {
+	if len(g.Cells) == 1 {
+		return g.Cells[0].Error()
+	}
+	return fmt.Sprintf("%d cells failed (first: %v)", len(g.Cells), g.Cells[0])
 }
 
 // measuredBaseline runs (or returns the cached) baseline measurement for a
 // workload at the given nominal IPC.
-func (r *Runner) measuredBaseline(name string, nominal float64) (Result, error) {
+func (r *Runner) measuredBaseline(ctx context.Context, name string, nominal float64) (Result, error) {
 	r.mu.Lock()
 	res, ok := r.baseCache[name]
 	r.mu.Unlock()
 	if ok {
 		return res, nil
 	}
-	return r.baseFlight.Do(name, func() (Result, error) {
+	return r.baseFlight.DoCtx(ctx, name, func() (Result, error) {
 		// A flight that completed between the cache miss and Do may have
 		// already stored the result.
 		r.mu.Lock()
@@ -139,13 +247,20 @@ func (r *Runner) measuredBaseline(name string, nominal float64) (Result, error) 
 		if ok {
 			return res, nil
 		}
-		res, err := r.runOnce(name, SchemeBaseline, 1000, nominal)
+		if res, ok := r.ckpt.lookupBase(name); ok {
+			r.mu.Lock()
+			r.baseCache[name] = res
+			r.mu.Unlock()
+			return res, nil
+		}
+		res, err := r.runOnce(ctx, name, SchemeBaseline, 1000, nominal, 0)
 		if err != nil {
 			return Result{}, err
 		}
 		r.mu.Lock()
 		r.baseCache[name] = res
 		r.mu.Unlock()
+		r.ckpt.storeBase(name, res)
 		return res, nil
 	})
 }
@@ -243,21 +358,27 @@ func (r *Runner) generator(spec workload.Spec, coreIdx int, nominalIPC float64) 
 }
 
 // baselineIPC returns (and caches) the calibrated baseline IPC for a case.
-func (r *Runner) baselineIPC(name string) (float64, error) {
+func (r *Runner) baselineIPC(ctx context.Context, name string) (float64, error) {
 	r.mu.Lock()
 	ipc, ok := r.ipcCache[name]
 	r.mu.Unlock()
 	if ok {
 		return ipc, nil
 	}
-	return r.ipcFlight.Do(name, func() (float64, error) {
+	return r.ipcFlight.DoCtx(ctx, name, func() (float64, error) {
 		r.mu.Lock()
 		ipc, ok := r.ipcCache[name]
 		r.mu.Unlock()
 		if ok {
 			return ipc, nil
 		}
-		res, err := r.runOnce(name, SchemeBaseline, 1000, 1.0)
+		if ipc, ok := r.ckpt.lookupIPC(name); ok {
+			r.mu.Lock()
+			r.ipcCache[name] = ipc
+			r.mu.Unlock()
+			return ipc, nil
+		}
+		res, err := r.runOnce(ctx, name, SchemeBaseline, 1000, 1.0, 0)
 		if err != nil {
 			return 0, err
 		}
@@ -271,6 +392,7 @@ func (r *Runner) baselineIPC(name string) (float64, error) {
 		r.mu.Lock()
 		r.ipcCache[name] = ipc
 		r.mu.Unlock()
+		r.ckpt.storeIPC(name, ipc)
 		return ipc, nil
 	})
 }
@@ -279,31 +401,56 @@ func (r *Runner) baselineIPC(name string) (float64, error) {
 // (when enabled) and the baseline measurement — and returns the baseline
 // result plus the nominal IPC every cell of this workload simulates at.
 // Concurrent callers for the same workload share one execution.
-func (r *Runner) baseline(name string) (Result, float64, error) {
+func (r *Runner) baseline(ctx context.Context, name string) (Result, float64, error) {
 	nominal := 1.0
 	if r.cfg.Calibrate {
-		ipc, err := r.baselineIPC(name)
+		ipc, err := r.baselineIPC(ctx, name)
 		if err != nil {
 			return Result{}, 0, err
 		}
 		nominal = ipc
 	}
-	base, err := r.measuredBaseline(name, nominal)
+	base, err := r.measuredBaseline(ctx, name, nominal)
 	if err != nil {
 		return Result{}, 0, err
 	}
 	return base, nominal, nil
 }
 
+// injectorFor arms the cell's injected faults. Cell-level kinds ("panic",
+// "transient") fire here, before the system is built — they model harness
+// failures rather than hardware ones. Hardware kinds ride the returned
+// injector into the system layers. Attempt > 0 drops transient arms, so a
+// retried cell recovers exactly the way a real transient failure would.
+func (r *Runner) injectorFor(name string, scheme Scheme, trh int64, attempt int) (*fault.Injector, error) {
+	plan := r.cfg.Faults.PlanFor(name, scheme.String(), trh)
+	if plan.Empty() {
+		return nil, nil
+	}
+	seed := rng.Derive(r.cfg.Seed, rng.HashString(name), rng.HashString(scheme.String()), uint64(trh), 0xFA17)
+	inj := fault.NewInjector(seed, plan, attempt)
+	if inj.Fire(fault.CellPanic, 0) {
+		panic(fmt.Sprintf("injected panic in cell %s/%s/%d", name, scheme, trh))
+	}
+	if inj.Fire(fault.CellTransient, 0) {
+		return nil, fault.Transient(fmt.Errorf("injected transient failure in cell %s/%s/%d", name, scheme, trh))
+	}
+	return inj, nil
+}
+
 // runOnce builds and runs one system.
-func (r *Runner) runOnce(name string, scheme Scheme, trh int64, nominalIPC float64) (Result, error) {
-	return r.runVariantOnce(name, scheme, trh, nominalIPC, Config{})
+func (r *Runner) runOnce(ctx context.Context, name string, scheme Scheme, trh int64, nominalIPC float64, attempt int) (Result, error) {
+	return r.runVariantOnce(ctx, name, scheme, trh, nominalIPC, Config{}, attempt)
 }
 
 // runVariantOnce builds and runs one system with structural overrides
 // (tracker kind, bloom/cache sizing, proactive drain) merged in.
-func (r *Runner) runVariantOnce(name string, scheme Scheme, trh int64, nominalIPC float64, overrides Config) (Result, error) {
+func (r *Runner) runVariantOnce(ctx context.Context, name string, scheme Scheme, trh int64, nominalIPC float64, overrides Config, attempt int) (Result, error) {
 	streams, err := r.streamsFor(name, nominalIPC)
+	if err != nil {
+		return Result{}, err
+	}
+	inj, err := r.injectorFor(name, scheme, trh, attempt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -318,40 +465,49 @@ func (r *Runner) runVariantOnce(name string, scheme Scheme, trh int64, nominalIP
 		BloomGroupSize:  overrides.BloomGroupSize,
 		FPTCacheEntries: overrides.FPTCacheEntries,
 		ProactiveDrain:  overrides.ProactiveDrain,
+		Faults:          inj,
 	}
-	sys := NewSystem(cfg, streams)
-	return sys.Run(0), nil
+	sys, err := NewSystemE(cfg, streams)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.RunCtx(ctx, 0)
 }
 
-// RunVariant measures one workload under a scheme with structural
-// overrides, normalized against the unmodified baseline.
-func (r *Runner) RunVariant(name string, scheme Scheme, trh int64, overrides Config) (WorkloadRun, error) {
-	base, nominal, err := r.baseline(name)
-	if err != nil {
-		return WorkloadRun{}, err
+// protectCell runs fn with panic isolation and bounded retry, converting
+// any failure into a *CellError carrying the cell's identity (and, for a
+// recovered panic, the stack). Cancellation passes through untouched so
+// callers can tell "the run was stopped" from "this cell is broken".
+func (r *Runner) protectCell(name string, scheme Scheme, trh int64, fn func(attempt int) error) error {
+	if r.initErr != nil {
+		return &CellError{Workload: name, Scheme: scheme, TRH: trh, Err: r.initErr}
 	}
-	res, err := r.runVariantOnce(name, scheme, trh, nominal, overrides)
-	if err != nil {
-		return WorkloadRun{}, err
+	err := flight.Retry(r.cfg.Retries+1, r.retryBackoff, fn)
+	if err == nil {
+		return nil
 	}
-	norm := 1.0
-	if base.IPC > 0 {
-		norm = res.IPC / base.IPC
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
 	}
-	return WorkloadRun{Workload: name, Scheme: scheme, TRH: trh, Result: res, NormIPC: norm}, nil
+	ce := &CellError{Workload: name, Scheme: scheme, TRH: trh, Err: err}
+	var pe *flight.PanicError
+	if errors.As(err, &pe) {
+		ce.Stack = pe.Stack
+	}
+	return ce
 }
 
-// Run measures one workload under one scheme at the given threshold,
-// returning the scheme result and the normalized IPC vs the baseline.
-func (r *Runner) Run(name string, scheme Scheme, trh int64) (WorkloadRun, error) {
-	base, nominal, err := r.baseline(name)
+// runCell is one unprotected cell execution: baseline resolution plus the
+// scheme measurement, normalized.
+func (r *Runner) runCell(ctx context.Context, name string, scheme Scheme, trh int64, attempt int) (WorkloadRun, error) {
+	base, nominal, err := r.baseline(ctx, name)
 	if err != nil {
 		return WorkloadRun{}, err
 	}
 	if scheme == SchemeBaseline {
 		return WorkloadRun{Workload: name, Scheme: scheme, TRH: trh, Result: base, NormIPC: 1}, nil
 	}
-	res, err := r.runOnce(name, scheme, trh, nominal)
+	res, err := r.runOnce(ctx, name, scheme, trh, nominal, attempt)
 	if err != nil {
 		return WorkloadRun{}, err
 	}
@@ -360,6 +516,66 @@ func (r *Runner) Run(name string, scheme Scheme, trh int64) (WorkloadRun, error)
 		norm = res.IPC / base.IPC
 	}
 	return WorkloadRun{Workload: name, Scheme: scheme, TRH: trh, Result: res, NormIPC: norm}, nil
+}
+
+// RunVariant measures one workload under a scheme with structural
+// overrides, normalized against the unmodified baseline.
+func (r *Runner) RunVariant(name string, scheme Scheme, trh int64, overrides Config) (WorkloadRun, error) {
+	return r.RunVariantCtx(context.Background(), name, scheme, trh, overrides)
+}
+
+// RunVariantCtx is RunVariant with cancellation, panic isolation and
+// retry. Variant runs are never checkpointed: the structural overrides are
+// not part of the checkpoint cell key.
+func (r *Runner) RunVariantCtx(ctx context.Context, name string, scheme Scheme, trh int64, overrides Config) (WorkloadRun, error) {
+	var run WorkloadRun
+	err := r.protectCell(name, scheme, trh, func(attempt int) error {
+		base, nominal, err := r.baseline(ctx, name)
+		if err != nil {
+			return err
+		}
+		res, err := r.runVariantOnce(ctx, name, scheme, trh, nominal, overrides, attempt)
+		if err != nil {
+			return err
+		}
+		norm := 1.0
+		if base.IPC > 0 {
+			norm = res.IPC / base.IPC
+		}
+		run = WorkloadRun{Workload: name, Scheme: scheme, TRH: trh, Result: res, NormIPC: norm}
+		return nil
+	})
+	if err != nil {
+		return WorkloadRun{}, err
+	}
+	return run, nil
+}
+
+// Run measures one workload under one scheme at the given threshold,
+// returning the scheme result and the normalized IPC vs the baseline.
+func (r *Runner) Run(name string, scheme Scheme, trh int64) (WorkloadRun, error) {
+	return r.RunCtx(context.Background(), name, scheme, trh)
+}
+
+// RunCtx is Run with cancellation, panic isolation, bounded retry for
+// transient failures, and checkpoint lookup/store. A failure comes back as
+// a *CellError (identity + cause + panic stack); cancellation comes back
+// as the context's error, unwrapped.
+func (r *Runner) RunCtx(ctx context.Context, name string, scheme Scheme, trh int64) (WorkloadRun, error) {
+	if run, ok := r.ckpt.lookupCell(name, scheme, trh); ok {
+		return run, nil
+	}
+	var run WorkloadRun
+	err := r.protectCell(name, scheme, trh, func(attempt int) error {
+		var err error
+		run, err = r.runCell(ctx, name, scheme, trh, attempt)
+		return err
+	})
+	if err != nil {
+		return WorkloadRun{}, err
+	}
+	r.ckpt.storeCell(run)
+	return run, nil
 }
 
 // RunGrid measures each workload under each (scheme, trh) pair, reusing
@@ -384,6 +600,16 @@ type GridResult struct {
 // rendered from it — is byte-identical to a serial run regardless of
 // completion order.
 func (r *Runner) RunGrid(names []string, cells []GridCell) ([]GridResult, error) {
+	return r.RunGridCtx(context.Background(), names, cells)
+}
+
+// RunGridCtx is RunGrid with cancellation and per-cell fault isolation. A
+// failing cell does not abort the fan-out: its failure is recorded and the
+// remaining cells run to completion. The partial grid is always returned;
+// when any cells failed, the error is a *GridError listing them in grid
+// order. When the context is cancelled the grid stops promptly and the
+// context's error is returned with whatever completed so far.
+func (r *Runner) RunGridCtx(ctx context.Context, names []string, cells []GridCell) ([]GridResult, error) {
 	out := make([]GridResult, len(names))
 	for i, name := range names {
 		out[i] = GridResult{Workload: name, Cells: make([]WorkloadRun, len(cells))}
@@ -391,25 +617,42 @@ func (r *Runner) RunGrid(names []string, cells []GridCell) ([]GridResult, error)
 	// One task per cell, plus one per workload so baselines are resolved
 	// (and recorded in out[i].Baseline) even for an empty cell list.
 	perName := len(cells) + 1
-	err := flight.ForEach(len(names)*perName, r.cfg.Parallel, func(k int) error {
+	cellErrs := make([]*CellError, len(names)*perName)
+	err := flight.ForEachCtx(ctx, len(names)*perName, r.cfg.Parallel, func(k int) error {
 		i, j := k/perName, k%perName
-		if j == len(cells) {
-			base, _, err := r.baseline(names[i])
-			if err != nil {
-				return err
-			}
-			out[i].Baseline = base
-			return nil
+		scheme, trh := SchemeBaseline, int64(1000)
+		if j < len(cells) {
+			scheme, trh = cells[j].Scheme, cells[j].TRH
 		}
-		run, err := r.Run(names[i], cells[j].Scheme, cells[j].TRH)
+		run, err := r.RunCtx(ctx, names[i], scheme, trh)
 		if err != nil {
+			var ce *CellError
+			if errors.As(err, &ce) {
+				// Isolate the broken cell; the rest of the grid proceeds.
+				cellErrs[k] = ce
+				return nil
+			}
+			// Cancellation (or a non-cell failure): abort the fan-out.
 			return err
 		}
-		out[i].Cells[j] = run
+		if j == len(cells) {
+			out[i].Baseline = run.Result
+		} else {
+			out[i].Cells[j] = run
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return out, err
+	}
+	var failed []*CellError
+	for _, ce := range cellErrs {
+		if ce != nil {
+			failed = append(failed, ce)
+		}
+	}
+	if len(failed) > 0 {
+		return out, &GridError{Cells: failed}
 	}
 	return out, nil
 }
@@ -418,9 +661,12 @@ func (r *Runner) RunGrid(names []string, cells []GridCell) ([]GridResult, error)
 // the number of rows whose activation count within the window reaches each
 // tier (scaled to the 64ms epoch when the window differs).
 func (r *Runner) RowTierCounts(name string, tiers []int64) (map[int64]int, error) {
+	if r.initErr != nil {
+		return nil, r.initErr
+	}
 	nominal := 1.0
 	if r.cfg.Calibrate {
-		ipc, err := r.baselineIPC(name)
+		ipc, err := r.baselineIPC(context.Background(), name)
 		if err != nil {
 			return nil, err
 		}
@@ -434,7 +680,10 @@ func (r *Runner) RowTierCounts(name string, tiers []int64) (map[int64]int, error
 		Geometry: r.cfg.Geometry, Timing: r.cfg.Timing,
 		TRH: 1000, Scheme: SchemeBaseline, Cores: r.cfg.Cores, Seed: r.cfg.Seed,
 	}
-	sys := NewSystem(cfg, streams)
+	sys, err := NewSystemE(cfg, streams)
+	if err != nil {
+		return nil, err
+	}
 	res := sys.Run(0)
 
 	scale := float64(res.SimTime) / float64(64*dram.Millisecond)

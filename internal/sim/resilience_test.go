@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/fault"
+	"repro/internal/flight"
+)
+
+func mustRules(t *testing.T, spec string) *fault.Rules {
+	t.Helper()
+	rules, err := fault.ParseRules(spec)
+	if err != nil {
+		t.Fatalf("ParseRules(%q): %v", spec, err)
+	}
+	return rules
+}
+
+func resCfg(faults *fault.Rules) ExpConfig {
+	return ExpConfig{
+		Window:   150 * dram.PS(dram.Microsecond),
+		Parallel: 2,
+		Faults:   faults,
+	}
+}
+
+// TestNewRunnerInvalidConfig: a config no cell could run under must yield
+// an inert Runner and an error, never a panic or process abort.
+func TestNewRunnerInvalidConfig(t *testing.T) {
+	cases := []ExpConfig{
+		{Cores: 9},
+		{Window: -1},
+		{Geometry: dram.Geometry{RowsPerBank: 7, Banks: 3}},
+	}
+	for _, cfg := range cases {
+		r, err := NewRunnerE(cfg)
+		if err == nil {
+			t.Fatalf("NewRunnerE(%+v): expected error", cfg)
+		}
+		if r.Err() == nil {
+			t.Fatalf("Err() should report the construction error")
+		}
+		// The inert Runner converts every cell into a CellError.
+		_, runErr := r.Run("xz", SchemeRRS, 1000)
+		var ce *CellError
+		if !errors.As(runErr, &ce) {
+			t.Fatalf("inert Runner returned %v, want *CellError", runErr)
+		}
+		if ce.Workload != "xz" || !errors.Is(ce, err) {
+			t.Fatalf("CellError %v does not carry the construction error %v", ce, err)
+		}
+	}
+}
+
+// TestGridPartialResults: a grid with one injected panicking cell and one
+// injected RQA-overflow cell must run to completion, report the panic as
+// a structured failure, and leave every healthy cell's numbers identical
+// to a fault-free run.
+func TestGridPartialResults(t *testing.T) {
+	names := []string{"xz", "lbm"}
+	cells := []GridCell{
+		{Scheme: SchemeRRS, TRH: 1000},
+		// TRH 125 is low enough that lbm's hot rows cross it within the
+		// reduced window, so the scheme actually mitigates — a
+		// prerequisite for the RQA-overflow fault to have a site to fire.
+		{Scheme: SchemeAquaMemMapped, TRH: 125},
+	}
+	clean, err := NewRunner(resCfg(nil)).RunGrid(names, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rules := mustRules(t, "xz/rrs/1000=panic@once:0;lbm/aqua-memmapped/125=rqa-overflow@p:1")
+	grid, err := NewRunner(resCfg(rules)).RunGrid(names, cells)
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("RunGrid returned %v, want *GridError", err)
+	}
+	if len(ge.Cells) != 1 {
+		t.Fatalf("GridError has %d cells, want 1: %v", len(ge.Cells), ge)
+	}
+	ce := ge.Cells[0]
+	if ce.Workload != "xz" || ce.Scheme != SchemeRRS || ce.TRH != 1000 {
+		t.Fatalf("failed cell identity = %s/%s/%d", ce.Workload, ce.Scheme, ce.TRH)
+	}
+	if len(ce.Stack) == 0 {
+		t.Fatalf("panicking cell carried no stack")
+	}
+	if !strings.Contains(ce.Error(), "injected panic") {
+		t.Fatalf("CellError %q does not name the injected panic", ce.Error())
+	}
+
+	// The RQA-overflow cell must have survived, degraded to the
+	// victim-refresh fallback, and counted its faults.
+	over := grid[1].Cells[1]
+	if over.Result.FaultStats.Injected == 0 {
+		t.Fatalf("overflow cell reports no injected faults")
+	}
+	if over.Result.MitStats.OverflowFallbacks == 0 {
+		t.Fatalf("overflow cell reports no fallback mitigations")
+	}
+
+	// Every cell the faults did not touch is byte-identical to the clean
+	// run (same structs, so DeepEqual is exact).
+	if !reflect.DeepEqual(grid[0].Cells[1], clean[0].Cells[1]) {
+		t.Fatalf("healthy cell xz/aqua-memmapped diverged under unrelated faults")
+	}
+	if !reflect.DeepEqual(grid[1].Cells[0], clean[1].Cells[0]) {
+		t.Fatalf("healthy cell lbm/rrs diverged under unrelated faults")
+	}
+	if !reflect.DeepEqual(grid[0].Baseline, clean[0].Baseline) ||
+		!reflect.DeepEqual(grid[1].Baseline, clean[1].Baseline) {
+		t.Fatalf("baselines diverged under faults")
+	}
+}
+
+// TestFaultScheduleDeterminism: the same seed and rules must produce the
+// same injected-fault counts and the same simulation numbers.
+func TestFaultScheduleDeterminism(t *testing.T) {
+	rules := mustRules(t, "xz/aqua-memmapped/1000=ecc-flip@p:0.01;xz/aqua-memmapped/1000=refresh-collision@p:0.5")
+	run := func() WorkloadRun {
+		r := NewRunner(resCfg(rules))
+		wr, err := r.Run("xz", SchemeAquaMemMapped, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wr
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faulted runs diverged:\na: %+v\nb: %+v", a, b)
+	}
+	if a.Result.FaultStats.Injected == 0 {
+		t.Fatalf("fault schedule never fired")
+	}
+}
+
+// TestTransientRetry: an injected transient failure must be retried (with
+// the transient arms dropped) and converge to the fault-free result.
+func TestTransientRetry(t *testing.T) {
+	clean, err := NewRunner(resCfg(nil)).Run("xz", SchemeRRS, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rules := mustRules(t, "xz/rrs/1000=transient@once:0")
+	r := NewRunner(resCfg(rules))
+	var attempts []int
+	r.retryBackoff = func(attempt int) { attempts = append(attempts, attempt) }
+	got, err := r.Run("xz", SchemeRRS, 1000)
+	if err != nil {
+		t.Fatalf("transient cell did not recover: %v", err)
+	}
+	if len(attempts) != 1 || attempts[0] != 1 {
+		t.Fatalf("backoff calls = %v, want [1]", attempts)
+	}
+	if !reflect.DeepEqual(got, clean) {
+		t.Fatalf("retried cell diverged from fault-free run:\ngot:   %+v\nclean: %+v", got, clean)
+	}
+
+	// With retries disabled the same cell must fail as a CellError.
+	noRetry := resCfg(rules)
+	noRetry.Retries = -1
+	_, err = NewRunner(noRetry).Run("xz", SchemeRRS, 1000)
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("unretried transient returned %v, want *CellError", err)
+	}
+	if !flight.IsTransient(ce) {
+		t.Fatalf("CellError should still expose the transient marker")
+	}
+}
+
+// TestGridCancellation: cancelling mid-grid must stop the run promptly,
+// return the context's error, and leak no goroutines (the -race build of
+// this test is the acceptance check for clean shutdown). The cancel is
+// triggered from inside the grid — the retry-backoff hook of an injected
+// transient failure — so the run is provably mid-flight, with cells both
+// executing and still undispatched.
+func TestGridCancellation(t *testing.T) {
+	rules := mustRules(t, "xz/rrs/1000=transient@once:0")
+	r := NewRunner(resCfg(rules))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r.retryBackoff = func(int) { cancel() }
+	names := []string{"xz", "wrf", "lbm", "mcf"}
+	cells := []GridCell{
+		{Scheme: SchemeRRS, TRH: 1000},
+		{Scheme: SchemeAquaMemMapped, TRH: 1000},
+	}
+	grid, err := r.RunGridCtx(ctx, names, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled grid returned %v, want context.Canceled", err)
+	}
+	// The partial grid is still handed back alongside the error.
+	if len(grid) != len(names) {
+		t.Fatalf("cancelled grid lost its shape: %d rows", len(grid))
+	}
+}
+
+// TestCheckpointResume: a grid interrupted after partial completion and
+// resumed from its checkpoint must produce a byte-identical final grid
+// while serving the already-done cells from the file.
+func TestCheckpointResume(t *testing.T) {
+	names := []string{"xz", "wrf"}
+	cells := []GridCell{
+		{Scheme: SchemeRRS, TRH: 1000},
+		{Scheme: SchemeAquaMemMapped, TRH: 1000},
+	}
+	clean, err := NewRunner(resCfg(nil)).RunGrid(names, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+
+	// First run: only one workload — a stand-in for an interrupted grid
+	// that checkpointed part of the work.
+	r1 := NewRunner(resCfg(nil))
+	if err := r1.AttachCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.RunGrid(names[:1], cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: a fresh Runner on the same file completes the grid. The
+	// first workload's cells must be served from the checkpoint and the
+	// final grid must match an uninterrupted run exactly.
+	r2 := NewRunner(resCfg(nil))
+	if err := r2.AttachCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := r2.RunGrid(names, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CheckpointHits() == 0 {
+		t.Fatalf("resumed run never hit the checkpoint")
+	}
+	if !reflect.DeepEqual(grid, clean) {
+		t.Fatalf("resumed grid diverged from uninterrupted run:\ngot:  %+v\nwant: %+v", grid, clean)
+	}
+	if err := r2.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A config change must refuse the file rather than replay wrong
+	// numbers.
+	other := resCfg(nil)
+	other.Seed = 0xBADC0FFEE
+	r3 := NewRunner(other)
+	if err := r3.AttachCheckpoint(path); err == nil {
+		t.Fatalf("checkpoint accepted a different configuration")
+	}
+
+	// A torn trailing record (killed mid-append) must be tolerated.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r4 := NewRunner(resCfg(nil))
+	if err := r4.AttachCheckpoint(path); err != nil {
+		t.Fatalf("torn checkpoint refused: %v", err)
+	}
+	grid4, err := r4.RunGrid(names, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(grid4, clean) {
+		t.Fatalf("torn-checkpoint resume diverged from uninterrupted run")
+	}
+}

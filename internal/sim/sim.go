@@ -7,12 +7,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/blockhammer"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/fault"
+	"repro/internal/flight"
 	"repro/internal/invariant"
 	"repro/internal/memctrl"
 	"repro/internal/mitigation"
@@ -99,6 +102,12 @@ type Config struct {
 	// AQUA's structural checks. Tests enable it; production runs leave it
 	// nil at zero cost.
 	Invariants *invariant.Checker
+	// Faults, when non-nil, threads the deterministic fault injector
+	// through every layer the same way: the rank (stuck rows, ECC flips),
+	// the controller (refresh collisions), and the AQUA engine (RQA
+	// overflow, migration aborts, FPT-cache poisoning, tracker
+	// corruption). Nil costs one pointer test per opportunity.
+	Faults *fault.Injector
 }
 
 // TrackerKind selects an aggressor-tracker implementation.
@@ -178,6 +187,9 @@ func NewSystem(cfg Config, streams []cpu.Stream) *System {
 		panic(fmt.Sprintf("sim: %d streams for %d cores", len(streams), cfg.Cores))
 	}
 	rank := dram.NewRank(cfg.Geometry, cfg.Timing)
+	if cfg.Faults != nil {
+		rank.EnableFaults(cfg.Faults)
+	}
 
 	s := &System{Cfg: cfg, Rank: rank}
 	if cfg.Monitor {
@@ -196,6 +208,7 @@ func NewSystem(cfg Config, streams []cpu.Stream) *System {
 			FPTCacheEntries: cfg.FPTCacheEntries,
 			ProactiveDrain:  cfg.ProactiveDrain,
 			Invariants:      cfg.Invariants,
+			Faults:          cfg.Faults,
 		}
 	}
 	switch cfg.Scheme {
@@ -229,7 +242,7 @@ func NewSystem(cfg Config, streams []cpu.Stream) *System {
 		s.Mit = mitigation.Checked(s.Mit, cfg.Geometry, cfg.Invariants)
 	}
 
-	ctrlCfg := memctrl.Config{EpochLength: cfg.EpochLength, Invariants: cfg.Invariants}
+	ctrlCfg := memctrl.Config{EpochLength: cfg.EpochLength, Invariants: cfg.Invariants, Faults: cfg.Faults}
 	if cfg.ProactiveDrain {
 		ctrlCfg.IdleDrainInterval = 10 * dram.Microsecond
 	}
@@ -239,6 +252,34 @@ func NewSystem(cfg Config, streams []cpu.Stream) *System {
 		s.Cores[i] = cpu.New(i, streams[i], cfg.CoreCfg)
 	}
 	return s
+}
+
+// NewSystemE is NewSystem with validation and panic containment: malformed
+// configurations (bad geometry/timing, a stream/core mismatch, a layout
+// the RQA arithmetic rejects) come back as errors instead of process
+// aborts, so a bad grid cell fails as a CellError. The library panics in
+// analytic/layout code stay — NewSystemE converts them at this boundary.
+func NewSystemE(cfg Config, streams []cpu.Stream) (*System, error) {
+	probe := cfg
+	probe.fillDefaults()
+	if len(streams) != probe.Cores {
+		return nil, fmt.Errorf("sim: %d streams for %d cores", len(streams), probe.Cores)
+	}
+	if err := probe.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := probe.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	var sys *System
+	err := flight.Protect(func() error {
+		sys = NewSystem(cfg, streams)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sys, nil
 }
 
 // Result summarizes one run.
@@ -264,11 +305,30 @@ type Result struct {
 	// DRAMPowerMW is the IDD-model DRAM power estimate for the run
 	// (Section V-H methodology).
 	DRAMPowerMW float64
+	// FaultStats counts the faults injected into this run (all-zero when
+	// no injector was attached).
+	FaultStats fault.Stats
 }
 
 // Run drives the system until all cores finish or simulated time exceeds
 // `until` (0 = no limit), and returns the result.
 func (s *System) Run(until dram.PS) Result {
+	res, _ := s.RunCtx(context.Background(), until)
+	return res
+}
+
+// ctxCheckInterval is how many issued requests pass between context
+// checks in RunCtx: frequent enough that cancellation lands within
+// milliseconds of wall-clock, rare enough that the atomic load in
+// ctx.Err() never shows up in profiles.
+const ctxCheckInterval = 4096
+
+// RunCtx is Run with cancellation: the issue loop polls ctx every
+// ctxCheckInterval requests and abandons the simulation with ctx.Err()
+// when it has been cancelled. The partial simulation state is discarded —
+// a cancelled cell has no result.
+func (s *System) RunCtx(ctx context.Context, until dram.PS) (Result, error) {
+	issued := 0
 	for {
 		// Pick the core with the earliest ready request.
 		best := -1
@@ -285,8 +345,13 @@ func (s *System) Run(until dram.PS) Result {
 			break
 		}
 		s.Cores[best].Issue(bestT, s.Ctrl.Submit)
+		if issued++; issued%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 	}
-	return s.result(until)
+	return s.result(until), nil
 }
 
 func (s *System) result(until dram.PS) Result {
@@ -326,6 +391,7 @@ func (s *System) result(until dram.PS) Result {
 	if end > 0 {
 		res.DRAMPowerMW = power.FromStats(power.MicronDDR4(), s.Cfg.Timing, s.Rank.Stats(), end).Total()
 	}
+	res.FaultStats = s.Cfg.Faults.Stats()
 	return res
 }
 

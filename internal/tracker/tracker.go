@@ -242,6 +242,58 @@ func (t *MisraGries) EstimatedCount(row dram.Row) int64 {
 // tests of the Misra-Gries invariant.
 func (t *MisraGries) Spill(bank int) int64 { return t.banks[bank].spill }
 
+// CorruptEntry deliberately corrupts one tracked counter (fault
+// injection): in the chosen bank, the heap entry at index idx (both taken
+// modulo the live sizes so any payload draw maps to a valid target) has
+// its count replaced by newCount, after which the heap is re-heapified
+// around the corrupted value. The *value* is wrong — that is the fault —
+// but the structure recovers to a well-formed heap, which
+// CheckConsistency re-verifies. Returns the affected row, or ok=false
+// when the bank tracks nothing yet.
+func (t *MisraGries) CorruptEntry(bank, idx int, newCount int64) (row dram.Row, ok bool) {
+	b := &t.banks[bank%len(t.banks)]
+	if len(b.heap) == 0 {
+		return 0, false
+	}
+	if newCount < 1 {
+		newCount = 1 // a tracked entry always has at least its install count
+	}
+	i := idx % len(b.heap)
+	row = b.heap[i].row
+	b.heap[i].count = newCount
+	// Recovery: restore heap order around the bad value. siftDown handles
+	// an increased count; if the count shrank, siftDown is a no-op and
+	// siftUp (from the entry's possibly-unchanged position) lifts it.
+	t.siftDown(b, i)
+	t.siftUp(b, int(t.pos[row]))
+	return row, true
+}
+
+// CheckConsistency verifies the tracker's structural invariants: min-heap
+// order in every bank, the dense row->position index agreeing with the
+// heaps, and counts at least 1. Fault injection calls it after
+// CorruptEntry to prove re-heapification restored a well-formed structure.
+func (t *MisraGries) CheckConsistency() error {
+	for bi := range t.banks {
+		b := &t.banks[bi]
+		for i := range b.heap {
+			if p := t.pos[b.heap[i].row]; int(p) != i {
+				return fmt.Errorf("tracker: bank %d row %d at heap[%d] but index says %d", bi, b.heap[i].row, i, p)
+			}
+			if i > 0 {
+				if parent := (i - 1) / 2; b.less(i, parent) {
+					return fmt.Errorf("tracker: bank %d heap order violated at %d (count %d under parent %d)",
+						bi, i, b.heap[i].count, b.heap[parent].count)
+				}
+			}
+			if b.heap[i].count < 1 {
+				return fmt.Errorf("tracker: bank %d heap[%d] has count %d < 1", bi, i, b.heap[i].count)
+			}
+		}
+	}
+	return nil
+}
+
 // SRAMBytes implements Tracker: per entry one row tag (log2 rowsPerBank
 // bits, rounded up) plus a counter, per bank, matching the ~396KB/rank the
 // paper charges the MG tracker at threshold 500 (Appendix B).
