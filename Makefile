@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke fault-smoke
+.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke fault-smoke cache-smoke
 
 all: build lint test
 
@@ -51,6 +51,29 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/perf
 	$(GO) test -run='ZeroAlloc' ./internal/perf ./internal/dram
+
+# Result-cache smoke (see DESIGN.md "Result cache & incremental
+# recomputation"): the bench-quick grid configuration runs twice against
+# a fresh cache directory. The second run must take cache hits, finish
+# faster, and emit byte-identical figures.
+cache-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	echo "--- cold run into $$dir"; \
+	t0=$$(date +%s%N); \
+	$(GO) run ./cmd/figures -workloads spec -window 4 -figure 7 -cache-dir "$$dir" \
+		>"$$dir/cold.out" 2>"$$dir/cold.err" || { cat "$$dir/cold.err"; echo "FAIL: cold run"; exit 1; }; \
+	t1=$$(date +%s%N); \
+	echo "--- warm run from the same directory"; \
+	$(GO) run ./cmd/figures -workloads spec -window 4 -figure 7 -cache-dir "$$dir" \
+		>"$$dir/warm.out" 2>"$$dir/warm.err" || { cat "$$dir/warm.err"; echo "FAIL: warm run"; exit 1; }; \
+	t2=$$(date +%s%N); \
+	cold_ms=$$(( (t1 - t0) / 1000000 )); warm_ms=$$(( (t2 - t1) / 1000000 )); \
+	echo "cold $${cold_ms}ms, warm $${warm_ms}ms"; \
+	grep -o 'cell cache: [0-9]* hits.*' "$$dir/warm.err"; \
+	grep -q 'cell cache: [1-9][0-9]* hits' "$$dir/warm.err" || { echo "FAIL: warm run took no cache hits"; exit 1; }; \
+	cmp -s "$$dir/cold.out" "$$dir/warm.out" || { echo "FAIL: warm output differs from cold"; exit 1; }; \
+	test "$$warm_ms" -lt "$$cold_ms" || { echo "FAIL: warm run not faster ($${warm_ms}ms vs $${cold_ms}ms)"; exit 1; }; \
+	echo "cache-smoke OK"
 
 # Fault-matrix smoke (see DESIGN.md "Failure model & graceful
 # degradation"): an injected panicking cell must not abort the run — the

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/cellcache"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
@@ -406,6 +407,14 @@ type BenchRecord struct {
 	WallParallelSec float64 `json:"wall_parallel_sec"`
 	Speedup         float64 `json:"speedup"`
 
+	// Cold vs warm wall-clock over the same grid against an on-disk
+	// result cache: the cold pass simulates and populates the cache, the
+	// warm pass replays it from disk. CacheHits is the warm pass's hit
+	// count (one per grid cell when the cache is healthy).
+	WallColdSec float64 `json:"wall_cold_sec"`
+	WallWarmSec float64 `json:"wall_warm_sec"`
+	CacheHits   int64   `json:"cache_hits"`
+
 	SlowdownAqua1KPct float64 `json:"slowdown_aqua_1k_pct"`
 	SlowdownRRS1KPct  float64 `json:"slowdown_rrs_1k_pct"`
 	MigrAquaPer64ms   float64 `json:"migrations_per_64ms_aqua"`
@@ -432,6 +441,8 @@ func runMicrobenches() map[string]MicroMetric {
 		"ctrl_submitbatch": perf.BenchSubmitBatch,
 		"tracker_act":      perf.BenchTrackerACT,
 		"workload_stream":  perf.BenchGeneratorStream,
+		"issue_loop_8c":    perf.BenchIssueLoop8,
+		"issue_loop_16c":   perf.BenchIssueLoop16,
 	}
 	out := make(map[string]MicroMetric, len(benches))
 	for name, fn := range benches {
@@ -479,6 +490,47 @@ func TestBenchJSON(t *testing.T) {
 	}
 	wallSerial := time.Since(start)
 
+	// Cold vs warm against the on-disk result cache: the cold pass runs
+	// the same grid into an empty cache directory, the warm pass replays
+	// it through a fresh Lab and a fresh Store over the same directory —
+	// so every hit crosses the disk tier, not process memory.
+	cacheDir := t.TempDir()
+	coldLab := NewLab(parallelOpts)
+	coldStore, err := cellcache.New(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldLab.AttachCache(coldStore)
+	start = time.Now()
+	if err := coldLab.Precompute(grid...); err != nil {
+		t.Fatal(err)
+	}
+	wallCold := time.Since(start)
+
+	warmLab := NewLab(parallelOpts)
+	warmStore, err := cellcache.New(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmLab.AttachCache(warmStore)
+	start = time.Now()
+	if err := warmLab.Precompute(grid...); err != nil {
+		t.Fatal(err)
+	}
+	wallWarm := time.Since(start)
+	warmStats := warmLab.CellStats()
+	if warmStats.CacheHits == 0 {
+		t.Errorf("warm pass took no cache hits (stats %+v)", warmStats)
+	}
+	if warmStats.Simulated != 0 {
+		t.Errorf("warm pass simulated %d cells, want 0 (stats %+v)", warmStats.Simulated, warmStats)
+	}
+	// The acceptance bar: a warm grid costs at most a quarter of a cold
+	// one. Only meaningful when the cold pass did real work.
+	if wallCold > 500*time.Millisecond && wallWarm > wallCold/4 {
+		t.Errorf("warm grid took %s, want <= 25%% of cold %s", wallWarm, wallCold)
+	}
+
 	// The speedup only counts if both engines emit the same bytes.
 	serialOut, err := serialLab.Figure7()
 	if err != nil {
@@ -491,6 +543,14 @@ func TestBenchJSON(t *testing.T) {
 	if serialOut != parallelOut {
 		t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serialOut, parallelOut)
+	}
+	warmOut, err := warmLab.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmOut != serialOut {
+		t.Fatalf("warm-cache output diverged from serial:\n--- serial ---\n%s\n--- warm ---\n%s",
+			serialOut, warmOut)
 	}
 
 	aquaGM, err := labGmean(parallelLab, SchemeAquaMemMapped, 1000)
@@ -528,6 +588,9 @@ func TestBenchJSON(t *testing.T) {
 		WallSerialSec:     wallSerial.Seconds(),
 		WallParallelSec:   wallParallel.Seconds(),
 		Speedup:           wallSerial.Seconds() / wallParallel.Seconds(),
+		WallColdSec:       wallCold.Seconds(),
+		WallWarmSec:       wallWarm.Seconds(),
+		CacheHits:         warmStats.CacheHits,
 		SlowdownAqua1KPct: (1 - aquaGM) * 100,
 		SlowdownRRS1KPct:  (1 - rrsGM) * 100,
 		MigrAquaPer64ms:   migrAqua / n,
@@ -548,8 +611,9 @@ func TestBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("recorded %s: serial %.1fs, -j %d %.1fs (%.2fx)",
-		path, rec.WallSerialSec, jobs, rec.WallParallelSec, rec.Speedup)
+	t.Logf("recorded %s: serial %.1fs, -j %d %.1fs (%.2fx), cache cold %.1fs warm %.2fs (%d hits)",
+		path, rec.WallSerialSec, jobs, rec.WallParallelSec, rec.Speedup,
+		rec.WallColdSec, rec.WallWarmSec, rec.CacheHits)
 }
 
 // BenchmarkAblationProactiveDrain quantifies the Section IV-D note: with

@@ -1,0 +1,184 @@
+package repro
+
+// Acceptance tests for the content-addressed result cache (see DESIGN.md
+// "Result cache & incremental recomputation"):
+//
+//   - a lab rendered entirely from a warm on-disk cache emits the exact
+//     golden byte stream, without simulating a single cell;
+//   - the cache composes with the PR 4 checkpoint: a resumed lab with a
+//     warm cache still reproduces the golden bytes, serves cells from
+//     both sources, and double-counts nothing;
+//   - fault-injected cells re-simulate on every run even with a warm
+//     cache, and appear exactly once in the degraded-cell summary.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cellcache"
+)
+
+// warmStore builds a store over dir, failing the test on error.
+func warmStore(t *testing.T, dir string) *cellcache.Store {
+	t.Helper()
+	s, err := cellcache.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestLabCacheWarmGolden is the cache's headline acceptance: a cold lab
+// populates a cache directory while rendering the golden stream, and a
+// fresh lab over a fresh Store on the same directory re-renders it
+// byte-identically — with every cell served from disk, none simulated.
+func TestLabCacheWarmGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "lab_golden.txt"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	dir := t.TempDir()
+
+	cold := labAt(1)
+	cold.AttachCache(warmStore(t, dir))
+	got, err := renderGoldenLab(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("cold cached lab diverged from golden:\n%s", firstDiff(string(want), got))
+	}
+	if cs := cold.CellStats(); cs.Simulated == 0 {
+		t.Fatalf("cold lab stats %+v; expected simulations", cs)
+	}
+
+	warm := labAt(1)
+	warm.AttachCache(warmStore(t, dir))
+	got, err = renderGoldenLab(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("warm cached lab diverged from golden:\n%s", firstDiff(string(want), got))
+	}
+	cs := warm.CellStats()
+	if cs.CacheHits == 0 {
+		t.Fatalf("warm lab stats %+v; took no cache hits", cs)
+	}
+	if cs.Simulated != 0 {
+		t.Fatalf("warm lab stats %+v; simulated %d cells, want 0", cs, cs.Simulated)
+	}
+}
+
+// TestLabCacheResumeInteraction composes the cache with the checkpoint:
+// a lab resuming a partial checkpoint over a warm cache must render the
+// golden bytes exactly, serving the checkpointed cells from the file
+// and the rest from the cache — still with zero simulations.
+func TestLabCacheResumeInteraction(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "lab_golden.txt"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	dir := t.TempDir()
+
+	// Warm the cache with a full cold render.
+	cold := labAt(1)
+	cold.AttachCache(warmStore(t, dir))
+	if _, err := renderGoldenLab(cold); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partial checkpointed run (no cache): two renderers' worth of cells.
+	ckpt := filepath.Join(t.TempDir(), "lab.ckpt")
+	partial := labAt(1)
+	if err := partial.AttachCheckpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partial.Figure7(); err != nil {
+		t.Fatal(err)
+	}
+	if err := partial.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with both sources attached.
+	resumed := labAt(1)
+	resumed.AttachCache(warmStore(t, dir))
+	if err := resumed.AttachCheckpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := renderGoldenLab(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := resumed.CheckpointHits(); hits == 0 {
+		t.Fatal("resumed lab never hit the checkpoint")
+	}
+	if err := resumed.CloseCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("resumed+cached lab diverged from golden:\n%s", firstDiff(string(want), got))
+	}
+	cs := resumed.CellStats()
+	if cs.Simulated != 0 {
+		t.Fatalf("resumed lab stats %+v; simulated %d cells, want 0", cs, cs.Simulated)
+	}
+	if cs.CacheHits == 0 {
+		t.Fatalf("resumed lab stats %+v; the non-checkpointed cells should have come from the cache", cs)
+	}
+	// No double counting: checkpoint-served cells never enter the cell
+	// accounting, so hits + dedup + simulated covers exactly the cache-path
+	// requests.
+	if total := cs.CacheHits + cs.Deduped() + cs.Simulated + cs.Errors; total != cs.Requests {
+		t.Fatalf("stats %+v don't add up: %d accounted of %d requests", cs, total, cs.Requests)
+	}
+}
+
+// TestLabCacheFaultedCellsResimulate pins the fault exclusion at the lab
+// level: with a warm cache, a fault-matched cell still re-simulates on
+// every run (its injections are observed each time) and is listed
+// exactly once in the degraded summary; the clean cells around it are
+// served from the cache.
+func TestLabCacheFaultedCellsResimulate(t *testing.T) {
+	const spec = "wrf/aqua-sram/1000=refresh-collision@p:0.5"
+	store, err := cellcache.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() *Lab {
+		l := faultedLab(t, spec)
+		l.AttachCache(store)
+		if _, err := l.Figure9(); err != nil {
+			t.Fatalf("figure9 should survive a recovered hardware fault: %v", err)
+		}
+		return l
+	}
+	assertFaultedOnce := func(which string, l *Lab) {
+		count := 0
+		for _, c := range l.FaultedCells() {
+			if c.Workload == "wrf" && c.Scheme == SchemeAquaSRAM && c.TRH == 1000 {
+				count++
+				if c.Injected == 0 {
+					t.Fatalf("%s run: degraded cell listed with no injections", which)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("%s run: degraded cell listed %d times, want exactly once", which, count)
+		}
+	}
+
+	assertFaultedOnce("first", render())
+
+	second := render()
+	assertFaultedOnce("second", second)
+	cs := second.CellStats()
+	if cs.CacheHits == 0 {
+		t.Fatalf("second run stats %+v; clean cells should be served from the cache", cs)
+	}
+	if cs.Simulated != 0 {
+		t.Fatalf("second run stats %+v; only the faulted cell may simulate, and it bypasses this accounting", cs)
+	}
+}

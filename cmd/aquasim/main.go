@@ -8,6 +8,7 @@
 //	aquasim -workload mix03 -scheme rrs -trh 1000 -window 16
 //	aquasim -faults '*/*/*=ecc-flip@p:0.01' -workload lbm
 //	aquasim -timeout 2m -workload mix03
+//	aquasim -cache-dir ~/.cache/aqua -workload lbm   # persist + reuse results
 //	aquasim -list
 //
 // Schemes: baseline, aqua-sram, aqua-memmapped, rrs, blockhammer,
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cellcache"
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/mitigation"
@@ -52,6 +54,9 @@ func main() {
 	seed := flag.Uint64("seed", 0, "experiment seed")
 	faultSpec := flag.String("faults", "", "fault-injection rules, e.g. 'lbm/aqua-memmapped/1000=ecc-flip@p:0.01'")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this wall-clock duration (0 = none)")
+	cache := flag.Bool("cache", true, "consult the content-addressed result cache (in-memory; add -cache-dir to persist)")
+	cacheDir := flag.String("cache-dir", "", "directory for the on-disk cache tier shared with cmd/figures (implies -cache)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (overrides -cache and -cache-dir)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	list := flag.Bool("list", false, "list workloads and schemes")
 	flag.Parse()
@@ -98,6 +103,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	useCache := !*noCache && (*cache || *cacheDir != "")
+	if useCache {
+		store, err := cellcache.New(*cacheDir)
+		if err != nil {
+			log.Fatalf("-cache-dir: %v", err)
+		}
+		runner.AttachCellCache(store)
+	}
 
 	start := time.Now()
 	run, err := runner.RunCtx(ctx, *workload, sch, *trh)
@@ -138,6 +151,13 @@ func main() {
 			},
 			"wall_time":       time.Since(start).String(),
 			"faults_injected": res.FaultStats.Injected,
+		}
+		if useCache {
+			cs := runner.CellStats()
+			out["cache_hits"] = cs.CacheHits
+			out["cache_misses"] = cs.CacheMisses
+			out["cache_deduped"] = cs.Deduped()
+			out["cache_simulated"] = cs.Simulated
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -182,6 +202,12 @@ func main() {
 	if fs := res.FaultStats; fs.Injected > 0 {
 		fmt.Printf("faults injected %d (migration aborts %d, overflow fallbacks %d, refresh collisions %d)\n",
 			fs.Injected, st.MigrationAborts, st.OverflowFallbacks, res.CtrlStats.RefreshCollisions)
+	}
+	if useCache {
+		if cs := runner.CellStats(); cs.Requests > 0 {
+			fmt.Printf("result cache    %d hits, %d misses, %d simulated\n",
+				cs.CacheHits, cs.CacheMisses, cs.Simulated)
+		}
 	}
 	fmt.Printf("wall time       %s\n", time.Since(start).Round(time.Millisecond))
 }

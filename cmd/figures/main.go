@@ -16,6 +16,15 @@
 //	figures -timeout 10m                         # cancel the whole run after a deadline
 //	figures -resume run.ckpt                     # checkpoint completed cells; resume after interrupt
 //
+// Incremental recomputation (see DESIGN.md "Result cache & incremental
+// recomputation"):
+//
+//	figures -cache-dir ~/.cache/aqua             # persist finished cells; later runs serve them
+//	figures -no-cache                            # force every cell to simulate
+//
+// Cached output is byte-identical to a cold run; hit/miss/dedup counts
+// are reported on stderr at exit.
+//
 // A failing cell no longer aborts the run: every figure that doesn't
 // depend on it still renders byte-identically, failed figures are listed
 // in a summary table, and the exit status is 1.
@@ -45,6 +54,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cellcache"
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -72,6 +82,9 @@ func realMain() int {
 	faultSpec := flag.String("faults", "", "fault-injection rules, e.g. 'xz/rrs/1000=panic@once:0;*/aqua-memmapped/*=ecc-flip@p:0.01'")
 	timeout := flag.Duration("timeout", 0, "cancel the whole run after this wall-clock duration (0 = none)")
 	resume := flag.String("resume", "", "checkpoint file: completed cells are persisted here and served on re-run")
+	cache := flag.Bool("cache", true, "serve grid cells from the content-addressed result cache (in-memory; add -cache-dir to persist)")
+	cacheDir := flag.String("cache-dir", "", "directory for the on-disk cache tier: completed cells persist here and warm future runs (implies -cache)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (overrides -cache and -cache-dir)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -144,6 +157,19 @@ func realMain() int {
 		log.Fatalf("unknown workload set %q", *workloads)
 	}
 	lab := repro.NewLab(opts)
+	if !*noCache && (*cache || *cacheDir != "") {
+		store, err := cellcache.New(*cacheDir)
+		if err != nil {
+			log.Fatalf("-cache-dir: %v", err)
+		}
+		lab.AttachCache(store)
+		defer func() {
+			if cs := lab.CellStats(); cs.Requests > 0 {
+				fmt.Fprintf(os.Stderr, "[cell cache: %d hits, %d misses, %d deduped, %d simulated]\n",
+					cs.CacheHits, cs.CacheMisses, cs.Deduped(), cs.Simulated)
+			}
+		}()
+	}
 	if *resume != "" {
 		if err := lab.AttachCheckpoint(*resume); err != nil {
 			log.Fatalf("-resume: %v", err)

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/analytic"
+	"repro/internal/cellcache"
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/flight"
@@ -121,6 +122,19 @@ func (l *Lab) CheckpointHits() int64 { return l.runner.CheckpointHits() }
 // CloseCheckpoint flushes and closes the attached checkpoint, surfacing
 // any append error encountered during the run.
 func (l *Lab) CloseCheckpoint() error { return l.runner.CloseCheckpoint() }
+
+// AttachCache attaches a content-addressed result store: clean completed
+// cells are served from it without re-simulating and written back to it
+// as they complete (see DESIGN.md "Result cache & incremental
+// recomputation"). Unlike a checkpoint, the store is shared across any
+// number of configurations — the key hashes the configuration, so a
+// changed option simply misses. Fault-injected and cancelled cells never
+// enter the store.
+func (l *Lab) AttachCache(s *cellcache.Store) { l.runner.AttachCellCache(s) }
+
+// CellStats reports how the lab's cell requests were satisfied: cache
+// hits/misses, deduplicated requests, and real simulations.
+func (l *Lab) CellStats() sim.CellStats { return l.runner.CellStats() }
 
 // FaultedCell summarizes one completed cell that had faults injected.
 type FaultedCell struct {

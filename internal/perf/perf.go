@@ -145,6 +145,38 @@ func BenchGeneratorStream(b *testing.B) {
 	}
 }
 
+// benchIssueLoop measures the full issue-selection loop — heap-ordered
+// core selection plus the request pipeline — at a given core count. The
+// selection cost is what scales with cores: the min-heap pays O(log
+// cores) per request where the previous linear scan paid O(cores), so
+// the 8- and 16-core variants are where the difference shows.
+func benchIssueLoop(b *testing.B, cores int) {
+	streams := make([]cpu.Stream, cores)
+	for i := range streams {
+		streams[i] = NewSyntheticStream(dram.Baseline())
+	}
+	sys := sim.NewSystem(sim.Config{
+		Scheme: sim.SchemeAquaMemMapped,
+		TRH:    1000,
+		Cores:  cores,
+	}, streams)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if got := sys.IssueN(b.N); got != b.N {
+		b.Fatalf("issued %d of %d requests", got, b.N)
+	}
+}
+
+// BenchIssueLoop4 measures the issue loop at the paper's 4-core
+// configuration.
+func BenchIssueLoop4(b *testing.B) { benchIssueLoop(b, 4) }
+
+// BenchIssueLoop8 measures the issue loop at 8 cores.
+func BenchIssueLoop8(b *testing.B) { benchIssueLoop(b, 8) }
+
+// BenchIssueLoop16 measures the issue loop at 16 cores.
+func BenchIssueLoop16(b *testing.B) { benchIssueLoop(b, 16) }
+
 // SyntheticStream is an endless allocation-free request stream over the
 // driver row pattern; the zero-allocation budget test drives the full
 // core -> controller pipeline with it.

@@ -14,6 +14,9 @@ func BenchmarkSubmit(b *testing.B)          { BenchSubmit(b) }
 func BenchmarkSubmitBatch(b *testing.B)     { BenchSubmitBatch(b) }
 func BenchmarkTrackerACT(b *testing.B)      { BenchTrackerACT(b) }
 func BenchmarkGeneratorStream(b *testing.B) { BenchGeneratorStream(b) }
+func BenchmarkIssueLoop4(b *testing.B)      { BenchIssueLoop4(b) }
+func BenchmarkIssueLoop8(b *testing.B)      { BenchIssueLoop8(b) }
+func BenchmarkIssueLoop16(b *testing.B)     { BenchIssueLoop16(b) }
 
 // TestRequestPathZeroAlloc is the allocation budget: the steady-state
 // request path — cpu.Core.Issue through memctrl.Submit, the FPT
@@ -42,6 +45,28 @@ func TestRequestPathZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(5000, issueOne); avg != 0 {
 		t.Fatalf("steady-state request path allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestIssueLoopZeroAlloc holds the allocation budget for the heap-driven
+// issue-selection loop at 8 cores: once the heap's backing slice is
+// warm, selecting and issuing a request must not allocate.
+func TestIssueLoopZeroAlloc(t *testing.T) {
+	const cores = 8
+	streams := make([]cpu.Stream, cores)
+	for i := range streams {
+		streams[i] = NewSyntheticStream(dram.Baseline())
+	}
+	sys := sim.NewSystem(sim.Config{
+		Scheme: sim.SchemeAquaMemMapped,
+		TRH:    1000,
+		Cores:  cores,
+	}, streams)
+	if got := sys.IssueN(20000); got != 20000 {
+		t.Fatalf("warmup issued %d of 20000", got)
+	}
+	if avg := testing.AllocsPerRun(5000, func() { sys.IssueN(1) }); avg != 0 {
+		t.Fatalf("issue loop allocates %.2f allocs/op, want 0", avg)
 	}
 }
 

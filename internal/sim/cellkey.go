@@ -1,0 +1,147 @@
+package sim
+
+// Content-addressed cell caching (see DESIGN.md "Result cache &
+// incremental recomputation"). Every grid cell is a pure function of the
+// experiment configuration, so its result can be stored under a hash of
+// that configuration and served on any later run — across processes,
+// unlike the checkpoint, which binds one file to one run configuration.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/cellcache"
+)
+
+// SchemaVersion names the generation of simulation semantics that cached
+// cell results belong to. Bump it whenever a change alters any simulated
+// number — timing model, scheme behaviour, workload synthesis, the
+// request-budget formula — and every previously written entry hashes to
+// a key no runner will ever ask for again: stale results cannot be
+// served, only ignored.
+const SchemaVersion = "aqua-cell-v1"
+
+// CellKey returns the content-addressed cache key for one grid cell: a
+// SHA-256 over the schema version, every ExpConfig field that determines
+// simulated numbers (window, cores, seed, calibration, geometry,
+// timing), the cell identity, and the per-core workload specs with their
+// static request budgets.
+//
+// Two deliberate exclusions: Parallel and Retries change wall-clock and
+// recovery only, never results; and fault rules are omitted because a
+// cell matched by a rule bypasses the cache entirely (see RunCtx) while
+// an unmatched cell is bit-identical to its fault-free run — so clean
+// cells are shared between faulted and fault-free invocations.
+//
+// The request budget is recorded at nominal IPC 1.0. The calibrated
+// budget scales with the measured baseline IPC, which is itself a
+// deterministic function of everything already hashed, so the static
+// budget pins it transitively.
+func (r *Runner) CellKey(name string, scheme Scheme, trh int64) (string, error) {
+	return r.cellKeyAt(SchemaVersion, name, scheme, trh)
+}
+
+// cellKeyAt is CellKey under an explicit schema version (tests derive
+// old-generation keys with it to prove a bump invalidates).
+func (r *Runner) cellKeyAt(version, name string, scheme Scheme, trh int64) (string, error) {
+	specs, err := caseSpecs(name)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", version)
+	fmt.Fprintf(&b, "window=%d cores=%d seed=%#x calibrate=%t\n",
+		r.cfg.Window, r.cfg.Cores, r.cfg.Seed, r.cfg.Calibrate)
+	fmt.Fprintf(&b, "geom=%+v\n", r.cfg.Geometry)
+	fmt.Fprintf(&b, "timing=%+v\n", r.cfg.Timing)
+	fmt.Fprintf(&b, "cell=%s/%s/%d\n", name, scheme, trh)
+	windowInstr := float64(r.cfg.Window) / 1e12 * 3e9
+	for i := 0; i < r.cfg.Cores && i < len(specs); i++ {
+		sp := specs[i]
+		fmt.Fprintf(&b, "core%d spec=%s mpki=%g rows=%d/%d/%d budget=%d\n",
+			i, sp.Name, sp.MPKI, sp.Rows166, sp.Rows500, sp.Rows1K,
+			int64(windowInstr*sp.MPKI/1000)+16)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// AttachCellCache attaches a content-addressed store: clean completed
+// cells are served from it without constructing a System and written
+// back to it as they complete. Fault-injected and cancelled cells never
+// enter the store. Pass nil to detach.
+func (r *Runner) AttachCellCache(s *cellcache.Store) { r.cells = s }
+
+// CellStats summarizes how RunCtx requests for cacheable (fault-free)
+// cells were satisfied. Checkpoint-served cells are counted separately
+// by CheckpointHits; fault-injected cells bypass this accounting.
+type CellStats struct {
+	// Requests is the number of cacheable cell requests.
+	Requests int64
+	// CacheHits were served from the attached content-addressed cache.
+	CacheHits int64
+	// CacheMisses consulted the attached cache and missed.
+	CacheMisses int64
+	// Simulated cells were actually run.
+	Simulated int64
+	// Errors is the number of requests that failed.
+	Errors int64
+}
+
+// Deduped is the number of requests served from an identical cell
+// already resolved in this run — the in-memory memo or a coalesced
+// in-flight execution — rather than from the cache or a fresh
+// simulation.
+func (s CellStats) Deduped() int64 {
+	d := s.Requests - s.CacheHits - s.Simulated - s.Errors
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// CellStats returns a snapshot of the Runner's cell-request counters.
+func (r *Runner) CellStats() CellStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cellStats
+}
+
+// cacheLookup decodes a stored cell. Any defect — undecodable payload,
+// identity mismatch — reads as a miss, never an error or a wrong result.
+func (r *Runner) cacheLookup(key cellKey) (WorkloadRun, bool) {
+	hash, err := r.CellKey(key.workload, key.scheme, key.trh)
+	if err != nil {
+		return WorkloadRun{}, false
+	}
+	data, ok := r.cells.Get(hash)
+	if !ok {
+		return WorkloadRun{}, false
+	}
+	var run WorkloadRun
+	if err := json.Unmarshal(data, &run); err != nil {
+		return WorkloadRun{}, false
+	}
+	if run.Workload != key.workload || run.Scheme != key.scheme || run.TRH != key.trh {
+		return WorkloadRun{}, false
+	}
+	return run, true
+}
+
+// cacheStore writes a clean completed cell. encoding/json round-trips
+// float64 exactly, so a later run serving this entry renders the same
+// bytes an uncached run would.
+func (r *Runner) cacheStore(key cellKey, run WorkloadRun) {
+	hash, err := r.CellKey(key.workload, key.scheme, key.trh)
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(run)
+	if err != nil {
+		return
+	}
+	r.cells.Put(hash, data)
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/cellcache"
 	"repro/internal/cpu"
 
 	"repro/internal/dram"
@@ -133,8 +134,12 @@ type Runner struct {
 	// run can resume without recomputing them. Nil-safe: all lookups on a
 	// nil checkpoint miss.
 	ckpt *checkpoint
+	// cells, when attached, is the content-addressed result cache (see
+	// cellkey.go): clean completed cells are served from it across
+	// processes and written back to it. Nil means no cache.
+	cells *cellcache.Store
 
-	mu sync.Mutex // guards ipcCache, baseCache and genCache
+	mu sync.Mutex // guards ipcCache, baseCache, genCache, cellMemo and cellStats
 	// calibrated per-workload IPC from the baseline pass.
 	ipcCache map[string]float64
 	// measured baseline results, keyed by workload (the baseline run
@@ -147,9 +152,17 @@ type Runner struct {
 	// of a workload can draw fresh streams from one shared instance
 	// instead of re-deriving the hot-row placement and background set.
 	genCache map[genKey]*workload.Generator
+	// cellMemo memoizes clean completed cells for the life of the Runner,
+	// so identical grid cells (the same baseline repeated at every sweep
+	// point) simulate at most once even with no cache attached and even
+	// when requested sequentially.
+	cellMemo map[cellKey]WorkloadRun
+	// cellStats counts how cacheable cell requests were satisfied.
+	cellStats CellStats
 
 	ipcFlight  flight.Group[string, float64]
 	baseFlight flight.Group[string, Result]
+	cellFlight flight.Group[cellKey, WorkloadRun]
 }
 
 type genKey struct {
@@ -168,6 +181,7 @@ func NewRunner(cfg ExpConfig) *Runner {
 		ipcCache:  make(map[string]float64),
 		baseCache: make(map[string]Result),
 		genCache:  make(map[genKey]*workload.Generator),
+		cellMemo:  make(map[cellKey]WorkloadRun),
 	}
 	if err := cfg.validate(); err != nil {
 		r.initErr = err
@@ -558,13 +572,94 @@ func (r *Runner) Run(name string, scheme Scheme, trh int64) (WorkloadRun, error)
 }
 
 // RunCtx is Run with cancellation, panic isolation, bounded retry for
-// transient failures, and checkpoint lookup/store. A failure comes back as
-// a *CellError (identity + cause + panic stack); cancellation comes back
-// as the context's error, unwrapped.
+// transient failures, checkpoint lookup/store, and cell caching. A
+// failure comes back as a *CellError (identity + cause + panic stack);
+// cancellation comes back as the context's error, unwrapped.
+//
+// Resolution order: the attached checkpoint (bound to this exact run
+// configuration) wins, then the in-memory memo, then a coalesced
+// in-flight execution of the same cell, then the content-addressed
+// cache, and only then a fresh simulation. Cells matched by a fault rule
+// skip everything but the checkpoint: they re-simulate on every request
+// so injected behaviour is observed, and their results never enter the
+// memo or the store. Failed (including cancelled) cells are never stored
+// anywhere — only clean, complete results persist.
 func (r *Runner) RunCtx(ctx context.Context, name string, scheme Scheme, trh int64) (WorkloadRun, error) {
 	if run, ok := r.ckpt.lookupCell(name, scheme, trh); ok {
 		return run, nil
 	}
+	if !r.cfg.Faults.PlanFor(name, scheme.String(), trh).Empty() {
+		run, err := r.runCellProtected(ctx, name, scheme, trh)
+		if err != nil {
+			return WorkloadRun{}, err
+		}
+		r.ckpt.storeCell(run)
+		return run, nil
+	}
+	key := cellKey{name, scheme, trh}
+	r.mu.Lock()
+	r.cellStats.Requests++
+	run, ok := r.cellMemo[key]
+	r.mu.Unlock()
+	if ok {
+		return run, nil
+	}
+	run, err := r.cellFlight.DoCtx(ctx, key, func() (WorkloadRun, error) {
+		return r.computeCell(ctx, key)
+	})
+	if err != nil {
+		r.mu.Lock()
+		r.cellStats.Errors++
+		r.mu.Unlock()
+		return WorkloadRun{}, err
+	}
+	r.ckpt.storeCell(run)
+	return run, nil
+}
+
+// computeCell resolves one clean cell inside its singleflight execution:
+// memo recheck (a flight that completed between the caller's miss and
+// DoCtx may have stored it), then the content-addressed cache, then a
+// real simulation. Only clean results are memoized and stored.
+func (r *Runner) computeCell(ctx context.Context, key cellKey) (WorkloadRun, error) {
+	r.mu.Lock()
+	run, ok := r.cellMemo[key]
+	r.mu.Unlock()
+	if ok {
+		return run, nil
+	}
+	if r.cells != nil {
+		if run, ok := r.cacheLookup(key); ok {
+			r.mu.Lock()
+			r.cellStats.CacheHits++
+			r.cellMemo[key] = run
+			r.mu.Unlock()
+			return run, nil
+		}
+		r.mu.Lock()
+		r.cellStats.CacheMisses++
+		r.mu.Unlock()
+	}
+	run, err := r.runCellProtected(ctx, key.workload, key.scheme, key.trh)
+	if err != nil {
+		return WorkloadRun{}, err
+	}
+	r.mu.Lock()
+	r.cellStats.Simulated++
+	r.cellMemo[key] = run
+	r.mu.Unlock()
+	// Defensive: the fault-rule branch in RunCtx already keeps injected
+	// cells out of this path, but no run that saw a fault may ever be
+	// served as a clean result.
+	if r.cells != nil && run.Result.FaultStats.Injected == 0 {
+		r.cacheStore(key, run)
+	}
+	return run, nil
+}
+
+// runCellProtected is one protected cell execution (panic isolation,
+// bounded retry), without any caching.
+func (r *Runner) runCellProtected(ctx context.Context, name string, scheme Scheme, trh int64) (WorkloadRun, error) {
 	var run WorkloadRun
 	err := r.protectCell(name, scheme, trh, func(attempt int) error {
 		var err error
@@ -574,7 +669,6 @@ func (r *Runner) RunCtx(ctx context.Context, name string, scheme Scheme, trh int
 	if err != nil {
 		return WorkloadRun{}, err
 	}
-	r.ckpt.storeCell(run)
 	return run, nil
 }
 

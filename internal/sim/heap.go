@@ -1,0 +1,111 @@
+package sim
+
+// issueHeap is the index min-heap behind the issue loop: one entry per
+// unfinished core, ordered by (next-issue time, core index). The
+// tie-break matters: the linear scan this replaced kept the first core
+// on equal times (strict < comparison), so the heap orders equal times
+// by ascending core index to select the exact same core — the golden
+// byte-for-byte contract depends on it.
+//
+// Correctness rests on a locality property of cpu.Core.NextIssueTime:
+// it reads only core-local state (queued request, compute gap,
+// outstanding-miss slots), so issuing on one core never changes another
+// core's next-issue time. Only the issuing core's entry needs fixing per
+// request — O(log cores) instead of the scan's O(cores) — and since that
+// entry sits at the root, a single sift-down restores the heap whatever
+// the new time is.
+//
+// The backing slice is allocated once per System and reused across runs,
+// keeping the steady-state request path at zero allocations.
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/dram"
+)
+
+// issueEvent is one core's pending entry.
+type issueEvent struct {
+	t   dram.PS
+	idx int
+}
+
+// issueHeap is a binary min-heap of issueEvents. The zero value is an
+// empty heap.
+type issueHeap struct {
+	ev []issueEvent
+}
+
+// less orders by time, then core index — exactly the linear scan's
+// "strictly earlier wins, first core wins ties" rule.
+func (h *issueHeap) less(a, b issueEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.idx < b.idx
+}
+
+// reset rebuilds the heap over the given cores, querying each for its
+// next issue time and skipping finished ones.
+func (h *issueHeap) reset(cores []*cpu.Core) {
+	h.ev = h.ev[:0]
+	for i, c := range cores {
+		if t, ok := c.NextIssueTime(); ok {
+			h.push(issueEvent{t: t, idx: i})
+		}
+	}
+}
+
+func (h *issueHeap) push(e issueEvent) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.ev[i], h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// len reports the number of unfinished cores.
+func (h *issueHeap) len() int { return len(h.ev) }
+
+// min returns the earliest event without removing it.
+func (h *issueHeap) min() issueEvent { return h.ev[0] }
+
+// fixMin replaces the root's time with t and restores heap order. The
+// root is the minimum, so any replacement value only needs a sift-down.
+func (h *issueHeap) fixMin(t dram.PS) {
+	h.ev[0].t = t
+	h.siftDown(0)
+}
+
+// popMin removes the root (a finished core).
+func (h *issueHeap) popMin() {
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+}
+
+func (h *issueHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.ev[right], h.ev[left]) {
+			smallest = right
+		}
+		if !h.less(h.ev[smallest], h.ev[i]) {
+			return
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+}

@@ -164,6 +164,11 @@ type System struct {
 	// Aqua is non-nil when the scheme is an AQUA variant (for breakdown
 	// and layout queries).
 	Aqua *core.Engine
+
+	// issueQ is the per-core next-issue min-heap the run loop selects
+	// from (see heap.go). Reused across runs so the steady-state request
+	// path stays allocation-free.
+	issueQ issueHeap
 }
 
 // VisibleRegion returns the software-visible address region for a
@@ -327,24 +332,28 @@ const ctxCheckInterval = 4096
 // ctxCheckInterval requests and abandons the simulation with ctx.Err()
 // when it has been cancelled. The partial simulation state is discarded —
 // a cancelled cell has no result.
+//
+// Core selection runs on an index min-heap over per-core next-issue
+// times — O(log cores) per request instead of the previous O(cores)
+// linear scan — ordered (time, core index) so the issued sequence is
+// bit-identical to the scan's (earliest time, lowest index on ties).
 func (s *System) RunCtx(ctx context.Context, until dram.PS) (Result, error) {
+	s.issueQ.reset(s.Cores)
 	issued := 0
-	for {
-		// Pick the core with the earliest ready request.
-		best := -1
-		var bestT dram.PS
-		for i, c := range s.Cores {
-			if t, ok := c.NextIssueTime(); ok && (best < 0 || t < bestT) {
-				best, bestT = i, t
-			}
-		}
-		if best < 0 {
+	for s.issueQ.len() > 0 {
+		ev := s.issueQ.min()
+		if until > 0 && ev.t > until {
 			break
 		}
-		if until > 0 && bestT > until {
-			break
+		c := s.Cores[ev.idx]
+		c.Issue(ev.t, s.Ctrl.Submit)
+		// Only the issuing core's entry can have changed: NextIssueTime
+		// reads core-local state alone (see heap.go).
+		if t, ok := c.NextIssueTime(); ok {
+			s.issueQ.fixMin(t)
+		} else {
+			s.issueQ.popMin()
 		}
-		s.Cores[best].Issue(bestT, s.Ctrl.Submit)
 		if issued++; issued%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
@@ -352,6 +361,27 @@ func (s *System) RunCtx(ctx context.Context, until dram.PS) (Result, error) {
 		}
 	}
 	return s.result(until), nil
+}
+
+// IssueN drives the issue-selection loop for exactly n requests (or
+// until all cores finish), returning how many were issued. It is the
+// perf-harness hook for benchmarking the selection path at arbitrary
+// core counts; figure runs use RunCtx.
+func (s *System) IssueN(n int) int {
+	s.issueQ.reset(s.Cores)
+	issued := 0
+	for issued < n && s.issueQ.len() > 0 {
+		ev := s.issueQ.min()
+		c := s.Cores[ev.idx]
+		c.Issue(ev.t, s.Ctrl.Submit)
+		if t, ok := c.NextIssueTime(); ok {
+			s.issueQ.fixMin(t)
+		} else {
+			s.issueQ.popMin()
+		}
+		issued++
+	}
+	return issued
 }
 
 func (s *System) result(until dram.PS) Result {
