@@ -11,10 +11,14 @@ build:
 	$(GO) build ./...
 
 # lint = the standard vet pass plus aqualint, the repo's own analyzer
-# suite (determinism and numeric-comparison rules; see cmd/aqualint).
+# suite: the per-package determinism and numeric-comparison rules plus
+# the module-wide detertaint / keycoverage / guardedby analyzers (see
+# cmd/aqualint -list). The lint framework's own tests run under -race
+# because module analyses share a loader across goroutine-using tests.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/aqualint ./...
+	$(GO) test -race ./internal/lint/...
 
 test:
 	$(GO) test ./...

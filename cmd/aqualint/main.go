@@ -1,12 +1,20 @@
 // Command aqualint is the repository's static-analysis multichecker: it
 // type-checks the requested packages and runs the determinism/soundness
-// analyzer suite (nodirectrand, noclock, maporder, floatcmp) over them.
+// analyzer suite over them — the per-package syntactic rules
+// (nodirectrand, noclock, maporder, floatcmp, nakedgo) and the
+// module-wide interprocedural rules (detertaint, keycoverage, guardedby)
+// built on the call graph of the whole module. After the suite it audits
+// `//aqualint:ignore` directives and reports any that suppressed nothing
+// (analyzer name "unusedignore").
 //
 // Usage:
 //
-//	go run ./cmd/aqualint ./...          # whole repository
+//	go run ./cmd/aqualint ./...                 # whole repository
 //	go run ./cmd/aqualint ./internal/dram
-//	go run ./cmd/aqualint -list          # describe the analyzers
+//	go run ./cmd/aqualint -list                 # describe the analyzers
+//	go run ./cmd/aqualint -json ./...           # machine-readable output
+//	go run ./cmd/aqualint -enable detertaint ./...
+//	go run ./cmd/aqualint -disable nakedgo ./...
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 load failure.
 // Suppress a reviewed finding with an `//aqualint:ignore <name>` comment
@@ -14,24 +22,53 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/lint"
 	"repro/internal/lint/analyzers"
 )
 
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	enable := flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
 	flag.Parse()
 
 	suite := analyzers.All()
 	if *list {
 		for _, an := range suite {
-			fmt.Printf("%-14s %s\n", an.Name, an.Doc)
+			kind := "package"
+			if an.RunModule != nil {
+				kind = "module"
+			}
+			fmt.Printf("%-14s [%s] %s\n", an.Name, kind, an.Doc)
 		}
+		fmt.Printf("%-14s [%s] %s\n", "unusedignore", "audit",
+			"report //aqualint:ignore directives that suppressed nothing")
 		return
+	}
+
+	suite, full, err := selectAnalyzers(suite, *enable, *disable)
+	if err != nil {
+		fatal(err)
+	}
+	enabled := make(map[string]bool, len(suite))
+	for _, an := range suite {
+		enabled[an.Name] = true
 	}
 
 	patterns := flag.Args()
@@ -43,38 +80,116 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	loader, err := lint.NewLoader(cwd)
-	if err != nil {
-		fatal(err)
-	}
-	dirs, err := lint.PackageDirs(cwd, patterns)
-	if err != nil {
-		fatal(err)
-	}
-	if len(dirs) == 0 {
-		fatal(fmt.Errorf("no packages match %v", patterns))
-	}
 
 	exit := 0
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "aqualint: %s: %v\n", dir, err)
-			exit = 2
-			continue
-		}
+	mod, errs := lint.LoadModule(cwd, patterns)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "aqualint: %v\n", err)
+		exit = 2
+	}
+	if mod == nil {
+		os.Exit(2)
+	}
+	if len(mod.Requested) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+	for _, pkg := range mod.Pkgs {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "aqualint: %s: type error: %v\n", pkg.Path, terr)
 			exit = 2
 		}
-		for _, d := range lint.RunAnalyzers(pkg, suite) {
-			fmt.Println(d)
-			if exit == 0 {
-				exit = 1
-			}
+	}
+
+	// Per-package analyzers see the requested packages; module analyzers
+	// see the whole module (annotation contracts cross package lines), but
+	// their diagnostics are filtered to the requested set so `aqualint
+	// ./internal/dram` stays scoped. The ignore audit runs last: only then
+	// is every suppression hit recorded.
+	var diags []lint.Diagnostic
+	for _, pkg := range mod.Requested {
+		diags = append(diags, lint.RunAnalyzers(pkg, suite)...)
+	}
+	requested := make(map[*lint.Package]bool, len(mod.Requested))
+	for _, pkg := range mod.Requested {
+		requested[pkg] = true
+	}
+	for _, d := range lint.RunModuleAnalyzers(mod, suite) {
+		if requested[mod.PackageOf(d.Pos.Filename)] {
+			diags = append(diags, d)
 		}
 	}
+	diags = append(diags, lint.UnusedIgnores(mod.Requested, enabled, full)...)
+
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 && exit == 0 {
+		exit = 1
+	}
 	os.Exit(exit)
+}
+
+// selectAnalyzers applies -enable/-disable to the suite. full reports
+// whether the whole suite runs (the blanket-ignore audit keys on it).
+func selectAnalyzers(suite []*lint.Analyzer, enable, disable string) ([]*lint.Analyzer, bool, error) {
+	known := make(map[string]bool, len(suite))
+	for _, an := range suite {
+		known[an.Name] = true
+	}
+	parse := func(flagName, s string) (map[string]bool, error) {
+		if s == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(s, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (see -list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse("enable", enable)
+	if err != nil {
+		return nil, false, err
+	}
+	off, err := parse("disable", disable)
+	if err != nil {
+		return nil, false, err
+	}
+	var out []*lint.Analyzer
+	for _, an := range suite {
+		if on != nil && !on[an.Name] {
+			continue
+		}
+		if off[an.Name] {
+			continue
+		}
+		out = append(out, an)
+	}
+	return out, len(out) == len(suite), nil
 }
 
 func fatal(err error) {

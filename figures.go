@@ -66,8 +66,8 @@ type Lab struct {
 	ctx    context.Context
 	runner *sim.Runner
 
-	mu     sync.Mutex // guards cache
-	cache  map[labKey]sim.WorkloadRun
+	mu     sync.Mutex
+	cache  map[labKey]sim.WorkloadRun // guarded by mu
 	flight flight.Group[labKey, sim.WorkloadRun]
 }
 
@@ -172,6 +172,8 @@ func (l *Lab) FaultedCells() []FaultedCell {
 // Run measures one workload under one scheme at a threshold, caching the
 // result. Concurrent callers asking for the same cell share one
 // simulation.
+//
+//detertaint:root
 func (l *Lab) Run(name string, scheme Scheme, trh int64) (sim.WorkloadRun, error) {
 	key := labKey{name, scheme, trh}
 	l.mu.Lock()
@@ -203,6 +205,8 @@ func (l *Lab) Run(name string, scheme Scheme, trh int64) (sim.WorkloadRun, error
 // LabOptions.Parallel concurrent workers. Figures call it before
 // rendering; callers sweeping several figures can warm the union of
 // their grids (e.g. PaperGrid) in one parallel pass up front.
+//
+//detertaint:root
 func (l *Lab) Precompute(cells ...sim.GridCell) error {
 	if len(cells) == 0 {
 		return nil
@@ -236,6 +240,8 @@ func PaperGrid() []sim.GridCell {
 
 // slowdownRow collects normalized IPC for each workload under the cells,
 // appending a geometric-mean row.
+//
+//detertaint:root
 func (l *Lab) normIPCTable(title string, cells []sim.GridCell, colNames []string) (string, error) {
 	if err := l.Precompute(cells...); err != nil {
 		return "", err
@@ -276,6 +282,8 @@ func Figure2() string {
 }
 
 // Figure3 regenerates Figure 3: RRS slowdown as T_RH drops from 4K to 1K.
+//
+//detertaint:root
 func (l *Lab) Figure3() (string, error) {
 	cells := []sim.GridCell{
 		{Scheme: SchemeRRS, TRH: 4000},
@@ -289,6 +297,8 @@ func (l *Lab) Figure3() (string, error) {
 
 // Figure6 regenerates Figure 6: row migrations per 64ms for AQUA and RRS
 // at T_RH=1K (paper averages: 1099 vs 9935).
+//
+//detertaint:root
 func (l *Lab) Figure6() (string, error) {
 	err := l.Precompute(
 		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 1000},
@@ -330,6 +340,8 @@ func (l *Lab) Figure6() (string, error) {
 
 // Figure7 regenerates Figure 7: normalized IPC of AQUA (SRAM tables) and
 // RRS at T_RH=1K (paper gmean: AQUA 0.982, RRS 0.835).
+//
+//detertaint:root
 func (l *Lab) Figure7() (string, error) {
 	cells := []sim.GridCell{
 		{Scheme: SchemeAquaSRAM, TRH: 1000},
@@ -342,6 +354,8 @@ func (l *Lab) Figure7() (string, error) {
 
 // Figure9 regenerates Figure 9: AQUA with SRAM vs memory-mapped tables
 // (paper gmean: 0.982 vs 0.979).
+//
+//detertaint:root
 func (l *Lab) Figure9() (string, error) {
 	cells := []sim.GridCell{
 		{Scheme: SchemeAquaSRAM, TRH: 1000},
@@ -355,6 +369,8 @@ func (l *Lab) Figure9() (string, error) {
 // Figure10 regenerates Figure 10: the FPT-lookup breakdown of memory-
 // mapped AQUA (paper averages: 92.2% bloom-filtered, 7.3% cache hits, 0.4%
 // singleton, 0.02% DRAM).
+//
+//detertaint:root
 func (l *Lab) Figure10() (string, error) {
 	if err := l.Precompute(sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 1000}); err != nil {
 		return "", err
@@ -381,6 +397,8 @@ func (l *Lab) Figure10() (string, error) {
 
 // Figure11 regenerates Figure 11: AQUA's sensitivity to the Rowhammer
 // threshold (paper slowdowns: 0.2% at 2K, 2.1% at 1K, 6.8% at 500).
+//
+//detertaint:root
 func (l *Lab) Figure11() (string, error) {
 	err := l.Precompute(
 		sim.GridCell{Scheme: SchemeAquaMemMapped, TRH: 2000},
@@ -412,6 +430,8 @@ func (l *Lab) Figure11() (string, error) {
 // 2.3% / 2.1% / 2.0%) and the FPT-Cache from 8KB to 32KB (paper: flat at
 // 2.1%). Bloom bytes map to group sizes (8KB = 32 rows/bit, 16KB = 16,
 // 32KB = 8); cache bytes to entry counts (2K/4K/8K).
+//
+//detertaint:root
 func (l *Lab) SensitivityVF() (string, error) {
 	t := stats.NewTable(
 		"Section V-F: sensitivity to bloom-filter and FPT-Cache size (paper: 2.3%/2.1%/2.0% and flat)",
@@ -492,6 +512,8 @@ func Table1() string {
 // a DoS attacker on one core, a benign workload on the rest; the victims'
 // slowdown attributable to AQUA's migrations must stay under the 2.95x
 // analytical bound.
+//
+//detertaint:root
 func (l *Lab) CoRunReport(workloadName string) (string, error) {
 	spec, ok := workload.ByName(workloadName)
 	if !ok {
@@ -520,6 +542,8 @@ func (l *Lab) CoRunReport(workloadName string) (string, error) {
 
 // Table2 regenerates Table II: measured MPKI-driven workload
 // characterization vs the paper's reference values.
+//
+//detertaint:root
 func (l *Lab) Table2() (string, error) {
 	t := stats.NewTable(
 		"Table II: Workload characteristics (measured on the synthetic streams; paper values in parentheses)",
@@ -584,6 +608,8 @@ func Table3() string {
 }
 
 // Table4 regenerates Table IV: victim refresh vs AQUA.
+//
+//detertaint:root
 func (l *Lab) Table4() (string, error) {
 	err := l.Precompute(
 		sim.GridCell{Scheme: SchemeVictimRefresh, TRH: 1000},
@@ -628,6 +654,8 @@ func Table5() string {
 
 // Table6 regenerates Table VI: the scheme comparison at T_RH=1K, combining
 // measured slowdowns with the paper's storage analysis.
+//
+//detertaint:root
 func (l *Lab) Table6() (string, error) {
 	err := l.Precompute(
 		sim.GridCell{Scheme: SchemeBlockhammer, TRH: 1000},
@@ -692,6 +720,8 @@ func Table7() string {
 // DRAM power of baseline vs AQUA (memory-mapped) runs, averaged over the
 // lab's workloads, plus the paper's CACTI SRAM constants. The paper
 // reports +0.7% (8.5mW) DRAM and 13.6mW SRAM.
+//
+//detertaint:root
 func (l *Lab) PowerReport() (string, error) {
 	err := l.Precompute(
 		sim.GridCell{Scheme: SchemeBaseline, TRH: 1000},
@@ -755,6 +785,8 @@ func StorageReport() string {
 }
 
 // SortedCacheKeys lists the lab's cached cells (for debugging/reports).
+//
+//detertaint:root
 func (l *Lab) SortedCacheKeys() []string {
 	l.mu.Lock()
 	var keys []string

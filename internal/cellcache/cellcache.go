@@ -63,8 +63,8 @@ type Store struct {
 	dir string // "" = memory tier only
 
 	mu    sync.Mutex
-	mem   map[string][]byte
-	stats Stats
+	mem   map[string][]byte // guarded by mu
+	stats Stats             // guarded by mu
 }
 
 // New builds a store. dir "" keeps the store memory-only; otherwise the
@@ -148,6 +148,8 @@ func (s *Store) miss() {
 // directory is configured, atomically on disk (temp file + fsync +
 // rename). Disk failures are absorbed into Stats.WriteErrors — losing
 // an entry only costs a future recomputation, never correctness.
+//
+//detertaint:root
 func (s *Store) Put(key string, value []byte) {
 	if s == nil || !validKey(key) {
 		return

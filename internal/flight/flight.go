@@ -105,7 +105,7 @@ type call[V any] struct {
 // and Lab caches do exactly that).
 type Group[K comparable, V any] struct {
 	mu sync.Mutex
-	m  map[K]*call[V]
+	m  map[K]*call[V] // guarded by mu
 }
 
 // Do executes fn for key, unless a call for key is already in flight, in

@@ -1,0 +1,12 @@
+package detertaint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/detertaint"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetertaint(t *testing.T) {
+	linttest.Run(t, detertaint.Analyzer, "testdata", "detertainttest")
+}

@@ -1,0 +1,88 @@
+// Package detertainttest is the detertaint corpus: a miniature of the
+// simulator's shape — a root runner, helpers at various call depths, an
+// interface scheme, closures — with seeded nondeterminism sources.
+package detertainttest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Run drives the corpus: a direct helper chain, a closure, a method
+// value, and an interface call.
+//
+//detertaint:root
+func Run() {
+	step()
+	emit(map[string]int{"a": 1})
+	_ = env()
+	f := func() { _ = time.Now() } // want `nondeterminism source time\.Now`
+	f()
+	var s Scheme = ym{}
+	_ = s.Tick()
+	_ = stamp()
+	_ = sorted(map[string]int{"a": 1})
+}
+
+// step is one call deep from the root.
+func step() {
+	deeper()
+}
+
+// deeper is two calls deep; depth must not hide the sink.
+func deeper() {
+	time.Sleep(time.Millisecond) // want `nondeterminism source time\.Sleep`
+}
+
+// emit has an order-dependent map loop, reachable from the root.
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `emits output in nondeterministic order`
+	}
+}
+
+// env reads the environment.
+func env() string {
+	return os.Getenv("HOME") // want `nondeterminism source os\.Getenv`
+}
+
+// Scheme is called through an interface; devirtualization must find the
+// implementation.
+type Scheme interface{ Tick() int }
+
+type ym struct{}
+
+// Tick is only ever reached through the Scheme interface.
+func (ym) Tick() int {
+	return rand.Int() // want `nondeterminism source math/rand\.Int`
+}
+
+// stamp is a vouched-for sink: exempt, and not traversed through.
+//
+//detertaint:reviewed corpus exemption; output is not hashed
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// sorted uses the collect-then-sort idiom; the map loop is clean even
+// though sorted is reachable from the root.
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// lonely is NOT reachable from any root: its clock read is the per-site
+// noclock rule's business, not detertaint's.
+func lonely() int64 {
+	return time.Now().UnixNano()
+}
+
+//detertaint:reviewed
+func noReason() {} // want `detertaint:reviewed needs a reason`

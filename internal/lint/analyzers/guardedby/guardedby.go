@@ -1,0 +1,277 @@
+// Package guardedby checks documented lock discipline: a struct field
+// whose comment says `guarded by mu` may only be touched by functions
+// that demonstrably hold mu. The repo's shared state — the Runner's
+// memo/cache maps, the flight.Group duplicate table, the cellcache
+// store, the Lab render cache — all carry this comment; the analyzer
+// turns the comment from prose into a checked contract.
+//
+// Annotation grammar:
+//
+//	type Store struct {
+//		mu   sync.Mutex
+//		mem  map[string][]byte // guarded by mu
+//	}
+//
+// The named mutex must be a sibling field of type sync.Mutex or
+// sync.RWMutex in the same struct. A function "holds" the mutex when:
+//
+//   - its body (closures included) calls <x>.mu.Lock() or <x>.mu.RLock()
+//     — the check is flow-insensitive by design: it catches the real
+//     failure mode (a new method that never locks at all), not exotic
+//     early-unlock interleavings;
+//   - its doc comment declares `// caller holds mu`, shifting the
+//     obligation to its callers — every static (non-devirtualized)
+//     caller must then itself hold mu, checked transitively over the
+//     call graph; or
+//   - the accessed value is a function-local (created inside the body,
+//     as in constructors), so no other goroutine can see it yet.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &lint.Analyzer{
+	Name: "guardedby",
+	Doc: "fields commented `guarded by <mu>` may only be accessed while holding " +
+		"the named sibling mutex (or under a `caller holds <mu>` contract)",
+	RunModule: run,
+}
+
+// FactCallerHolds marks a function whose doc declares `caller holds
+// <mu>`; the value is the mutex name.
+const FactCallerHolds = "guardedby.callerholds"
+
+var (
+	guardRe = regexp.MustCompile(`(?:^|\s)guarded by (\w+)`)
+	holdsRe = regexp.MustCompile(`(?:^|\s)caller holds (\w+)`)
+)
+
+func run(pass *lint.ModulePass) {
+	graph := pass.Graph
+	fields := pass.Mod.Fields()
+
+	// Scan phase 1: guarded fields. guards[field] = mutex field name.
+	guards := make(map[*types.Var]string)
+	for v, decl := range fields {
+		mu, ok := guardAnnotation(decl.Field)
+		if !ok {
+			continue
+		}
+		if !hasMutexSibling(decl.Pkg, decl.Struct, mu) {
+			pass.Reportf(decl.Field.Pos(),
+				"field %s is marked `guarded by %s` but the struct has no sync.Mutex/sync.RWMutex field named %s",
+				v.Name(), mu, mu)
+			continue
+		}
+		guards[v] = mu
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	// Scan phase 2: per-function lock evidence and caller-holds contracts.
+	locksHeld := make(map[*types.Func]map[string]bool) // fn -> mutex names locked in body
+	callerHolds := make(map[*types.Func]string)
+	for _, fn := range graph.Functions() {
+		info := graph.Decl(fn)
+		if doc := info.Decl.Doc; doc != nil {
+			for _, c := range doc.List {
+				if m := holdsRe.FindStringSubmatch(c.Text); m != nil {
+					callerHolds[fn] = m[1]
+					pass.Facts.Export(fn, FactCallerHolds, m[1])
+				}
+			}
+		}
+		locksHeld[fn] = lockCalls(info.Decl.Body)
+	}
+
+	holds := func(fn *types.Func, mu string) bool {
+		return locksHeld[fn][mu] || callerHolds[fn] == mu
+	}
+
+	// Check phase 1: every access to a guarded field happens in a
+	// function that holds its mutex.
+	for _, fn := range graph.Functions() {
+		info := graph.Decl(fn)
+		body := info.Decl.Body
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := info.Pkg.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			mu, guarded := guards[v]
+			if !guarded || holds(fn, mu) || localValue(info.Pkg.Info, body, sel.X) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"access to %s (guarded by %s) in %s, which neither locks %s nor documents `caller holds %s`",
+				v.Name(), mu, lint.FuncName(fn), mu, mu)
+			return true
+		})
+	}
+
+	// Check phase 2: caller-holds contracts propagate — every static
+	// caller of a `caller holds mu` function must itself hold mu.
+	// Devirtualized interface edges are skipped: the interface call site
+	// cannot know the implementation's lock contract, and flagging every
+	// possible implementation would drown real findings.
+	for fn, mu := range callerHolds {
+		for _, e := range graph.CallersOf(fn) {
+			if e.Dynamic {
+				continue
+			}
+			if holds(e.Caller, mu) {
+				continue
+			}
+			// A call on a function-local value (a constructor wiring up an
+			// object before sharing it) needs no lock, mirroring phase 1.
+			if caller := graph.Decl(e.Caller); caller != nil && localCallReceiver(caller, e.Pos) {
+				continue
+			}
+			pass.Reportf(e.Pos,
+				"call to %s requires holding %s (`caller holds %s`) but %s neither locks %s nor documents the same contract",
+				lint.FuncName(fn), mu, mu, lint.FuncName(e.Caller), mu)
+		}
+	}
+}
+
+// guardAnnotation reads a field's `guarded by <mu>` comment (doc or
+// trailing line comment).
+func guardAnnotation(f *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1], true
+			}
+		}
+	}
+	return "", false
+}
+
+// hasMutexSibling reports whether the struct declares a field named mu of
+// type sync.Mutex or sync.RWMutex.
+func hasMutexSibling(pkg *lint.Package, st *ast.StructType, mu string) bool {
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if name.Name != mu {
+				continue
+			}
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok && isMutex(v.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockCalls collects the mutex field names the body locks:
+// <expr>.<name>.Lock() or <expr>.<name>.RLock().
+func lockCalls(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := sel.X.(type) {
+		case *ast.SelectorExpr:
+			out[recv.Sel.Name] = true
+		case *ast.Ident:
+			out[recv.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// localCallReceiver reports whether the method call whose callee
+// identifier sits at pos is invoked on a function-local value.
+func localCallReceiver(caller *lint.FuncInfo, pos token.Pos) bool {
+	found := false
+	ast.Inspect(caller.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Pos() != pos {
+			return true
+		}
+		found = localValue(caller.Pkg.Info, caller.Decl.Body, sel.X)
+		return false
+	})
+	return found
+}
+
+// localValue reports whether the accessed base expression is a variable
+// declared inside the function body — a value under construction that no
+// other goroutine can reach, so lock discipline does not yet apply.
+func localValue(info *types.Info, body *ast.BlockStmt, base ast.Expr) bool {
+	id := rootIdent(base)
+	if id == nil {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Pos() > body.Lbrace && obj.Pos() < body.Rbrace+token.Pos(1)
+}
+
+// rootIdent unwraps selectors/parens/derefs to the leftmost identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

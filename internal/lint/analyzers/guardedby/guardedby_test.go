@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/guardedby"
+	"repro/internal/lint/linttest"
+)
+
+func TestGuardedby(t *testing.T) {
+	linttest.Run(t, guardedby.Analyzer, "testdata", "guardedbytest")
+}

@@ -1,0 +1,84 @@
+// Package guardedbytest is the guardedby corpus: a store with a
+// documented lock discipline, correct and incorrect accessors, a
+// caller-holds contract, and a constructor.
+package guardedbytest
+
+import "sync"
+
+// Store mirrors the simulator's cache shapes.
+type Store struct {
+	mu sync.Mutex
+	// mem is the cached payload map.
+	mem map[string]int // guarded by mu
+	n   int            // guarded by lock; want `no sync\.Mutex/sync\.RWMutex field named lock`
+}
+
+// RW exercises RLock recognition.
+type RW struct {
+	mu    sync.RWMutex
+	stats map[string]int // guarded by mu
+}
+
+// New builds a Store; the value is local, so no locking is required —
+// for direct field writes and for caller-holds method calls alike.
+func New() *Store {
+	s := &Store{}
+	s.mem = make(map[string]int)
+	s.locked("seed", 1)
+	return s
+}
+
+// Get locks correctly.
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem[k]
+}
+
+// Bad reads the guarded map without the lock.
+func (s *Store) Bad(k string) int {
+	return s.mem[k] // want `access to mem \(guarded by mu\)`
+}
+
+// locked writes under a caller-holds contract.
+//
+// caller holds mu
+func (s *Store) locked(k string, v int) {
+	s.mem[k] = v
+}
+
+// Put honours the contract.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.locked(k, v)
+}
+
+// relocked chains the contract one level: it may call locked because it
+// declares the same obligation.
+//
+// caller holds mu
+func (s *Store) relocked(k string) {
+	s.locked(k, 0)
+}
+
+// PutUnlocked violates the contract.
+func (s *Store) PutUnlocked(k string, v int) {
+	s.locked(k, v) // want `call to \(\*guardedbytest\.Store\)\.locked requires holding mu`
+}
+
+// Snapshot uses a read lock on the RWMutex.
+func (r *RW) Snapshot() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int, len(r.stats))
+	for k, v := range r.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Peek reads without any lock.
+func (r *RW) Peek(k string) int {
+	return r.stats[k] // want `access to stats \(guarded by mu\)`
+}

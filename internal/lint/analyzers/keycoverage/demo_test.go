@@ -1,0 +1,106 @@
+package keycoverage_test
+
+// The acceptance demonstration for keycoverage: growing a cell-key
+// config struct by one field makes the lint fail, and it keeps failing
+// until the field is either hashed or carries an //aquakey:exclude
+// reason — exactly the regression the analyzer exists to catch in
+// sim.ExpConfig / cellKeyAt.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers/keycoverage"
+)
+
+const demoKeyBase = `package cfg
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Config parameterizes the demo experiment.
+type Config struct {
+	Window int
+	Seed   uint64
+%s}
+
+// Key is the cell key: a hash over every result-determining field.
+//
+//aquakey:hash Config
+func Key(c *Config) [32]byte {
+	s := fmt.Sprintf("w=%%d seed=%%d\n", c.Window, c.Seed)
+%s	return sha256.Sum256([]byte(s))
+}
+`
+
+// runOver writes the module, loads it fresh, and runs keycoverage.
+func runOver(t *testing.T, cfgSrc string) []lint.Diagnostic {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module demo\n\ngo 1.24\n")
+	write("cfg/cfg.go", cfgSrc)
+	mod, errs := lint.LoadModule(root, []string{"./..."})
+	if len(errs) > 0 {
+		t.Fatalf("LoadModule: %v", errs)
+	}
+	return lint.RunModuleAnalyzers(mod, []*lint.Analyzer{keycoverage.Analyzer})
+}
+
+func TestAddedFieldFailsUntilHandled(t *testing.T) {
+	at := func(field, hash string) string {
+		out := demoKeyBase
+		out = strings.Replace(out, "%s}", field+"}", 1)
+		out = strings.Replace(out, "%s\treturn", hash+"\treturn", 1)
+		return out
+	}
+
+	// Phase 1: every field hashed — clean.
+	if diags := runOver(t, at("", "")); len(diags) != 0 {
+		t.Fatalf("baseline should be clean, got %v", diags)
+	}
+
+	// Phase 2: a new result-determining field lands without touching the
+	// hash — the lint must fail on exactly that field.
+	grown := at("\tRefresh int\n", "")
+	diags := runOver(t, grown)
+	if len(diags) != 1 {
+		t.Fatalf("unhashed new field must fail the lint, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "Config.Refresh is not hashed") {
+		t.Fatalf("wrong finding: %v", diags[0])
+	}
+
+	// Phase 3a: hashing the field clears it.
+	hashed := at("\tRefresh int\n", "\ts += fmt.Sprintf(\"r=%d\\n\", c.Refresh)\n")
+	if diags := runOver(t, hashed); len(diags) != 0 {
+		t.Fatalf("hashed field must be clean, got %v", diags)
+	}
+
+	// Phase 3b: an //aquakey:exclude with a reason clears it too.
+	excluded := at("\t//aquakey:exclude demo knob; wall-clock only\n\tRefresh int\n", "")
+	if diags := runOver(t, excluded); len(diags) != 0 {
+		t.Fatalf("excluded field must be clean, got %v", diags)
+	}
+
+	// ...but a bare exclude does not.
+	bare := at("\t//aquakey:exclude\n\tRefresh int\n", "")
+	diags = runOver(t, bare)
+	if len(diags) != 2 {
+		t.Fatalf("bare exclude must report missing reason and missing hash, got %v", diags)
+	}
+}

@@ -1,0 +1,361 @@
+// Package keycoverage enforces cache-key completeness: every field of a
+// configuration struct that feeds a content-addressed hash must actually
+// be hashed, or carry a written-down reason why not. It exists for one
+// failure mode — someone adds a field to ExpConfig that changes
+// simulated numbers, forgets to extend cellKeyAt, and the cell cache
+// silently serves results computed under a different configuration.
+//
+// The hash function declares what it covers:
+//
+//	//aquakey:hash ExpConfig workload.Spec
+//	func (r *Runner) cellKeyAt(...) (string, error) { ... }
+//
+// Each named type (bare = the function's package, qualified = any module
+// package with that name) must be a struct; every one of its fields is
+// then required to be hashed. Coverage evidence is gathered over the
+// hash closure — the annotated function plus everything reachable from
+// it in the call graph:
+//
+//   - a field selection (x.F) covers field F;
+//   - a struct value passed as a call argument covers the whole struct
+//     transitively (the `fmt.Fprintf(h, "%+v", cfg.Geometry)` idiom picks
+//     up future fields automatically, so they are genuinely covered);
+//   - a required field whose type is a module-declared struct (possibly
+//     behind pointers/slices/arrays/maps) pulls that struct's fields into
+//     the required set — hashing a struct field only by some of its
+//     subfields leaves the others flagged.
+//
+// A field that must not be hashed is annotated on its declaration:
+//
+//	//aquakey:exclude wall-clock/recovery knob, never changes results
+//
+// The reason is mandatory; an empty exclude is itself a finding.
+package keycoverage
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the keycoverage check.
+var Analyzer = &lint.Analyzer{
+	Name: "keycoverage",
+	Doc: "every field of a //aquakey:hash config struct must be hashed by the " +
+		"annotated function's call closure or carry //aquakey:exclude <reason>",
+	RunModule: run,
+}
+
+// FactExcluded is exported for each //aquakey:exclude field; the value
+// is the reason string.
+const FactExcluded = "keycoverage.excluded"
+
+var (
+	hashRe    = regexp.MustCompile(`^//\s*aquakey:hash\s+(.+?)\s*$`)
+	excludeRe = regexp.MustCompile(`^//\s*aquakey:exclude(?:\s+(.*))?$`)
+)
+
+func run(pass *lint.ModulePass) {
+	graph := pass.Graph
+
+	// Scan phase: find every //aquakey:hash function and resolve its
+	// declared struct types.
+	type hashRoot struct {
+		fn    *types.Func
+		types []*types.Named
+	}
+	var roots []hashRoot
+	for _, fn := range graph.Functions() {
+		info := graph.Decl(fn)
+		if info.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range info.Decl.Doc.List {
+			m := hashRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			root := hashRoot{fn: fn}
+			for _, name := range strings.Fields(m[1]) {
+				named := resolveNamedStruct(pass.Mod, info.Pkg, name)
+				if named == nil {
+					pass.Reportf(info.Decl.Pos(), "aquakey:hash names %q, which is not a struct type in this package or any module package", name)
+					continue
+				}
+				root.types = append(root.types, named)
+			}
+			if len(root.types) > 0 {
+				roots = append(roots, root)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	fields := pass.Mod.Fields()
+
+	// Record the excludes up front so expansion can skip them too.
+	excluded := make(map[*types.Var]bool)
+	for v, decl := range fields {
+		reason, found, empty := excludeReason(decl.Field)
+		if !found {
+			continue
+		}
+		if empty {
+			pass.Reportf(decl.Field.Pos(), "aquakey:exclude needs a reason: //aquakey:exclude <why this field never changes hashed results>")
+			continue
+		}
+		excluded[v] = true
+		pass.Facts.Export(v, FactExcluded, reason)
+	}
+
+	for _, root := range roots {
+		checkRoot(pass, root.fn, root.types, fields, excluded)
+	}
+}
+
+// checkRoot verifies one hash function against its declared types.
+func checkRoot(pass *lint.ModulePass, fn *types.Func, declared []*types.Named,
+	fields map[*types.Var]*lint.FieldDecl, excluded map[*types.Var]bool) {
+
+	graph := pass.Graph
+	reach := graph.Reachable([]*types.Func{fn}, nil)
+
+	// Evidence pass over the hash closure.
+	covered := make(map[*types.Var]bool) // exact field selections
+	whole := make(map[*types.Named]bool) // struct values used wholesale
+	for _, f := range graph.Functions() {
+		if !reach.Has(f) {
+			continue
+		}
+		info := graph.Decl(f)
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						covered[canonicalField(v)] = true
+					}
+				}
+			case *ast.CallExpr:
+				// A struct value handed to an opaque (non-module) callee —
+				// fmt.Fprintf("%+v", ...), json.Marshal, hash writers — is
+				// consumed wholesale: every field, present and future, is
+				// covered. Module-internal callees grant nothing: they are
+				// in the closure, so their real field reads are counted.
+				if callee := staticCallee(info.Pkg.Info, x); callee != nil && graph.Decl(callee.Origin()) != nil {
+					break
+				}
+				for _, arg := range x.Args {
+					if named := namedStruct(info.Pkg.Info.TypeOf(arg)); named != nil {
+						markWhole(named, whole)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Required set: fields of the declared types, expanded to fixpoint
+	// through struct-typed fields that are not wholly covered.
+	type reqField struct {
+		v     *types.Var
+		owner *types.Named
+	}
+	var required []reqField
+	seenType := make(map[*types.Named]bool)
+	var addType func(named *types.Named)
+	addType = func(named *types.Named) {
+		if seenType[named] {
+			return
+		}
+		seenType[named] = true
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			v := canonicalField(st.Field(i))
+			required = append(required, reqField{v: v, owner: named})
+			if excluded[v] {
+				continue
+			}
+			if sub := namedStruct(v.Type()); sub != nil && fields[firstField(sub)] != nil {
+				// Module-declared struct field: its subfields matter too,
+				// unless the struct is hashed wholesale.
+				if !whole[sub] {
+					addType(sub)
+				}
+			}
+		}
+	}
+	for _, named := range declared {
+		addType(named)
+	}
+
+	for _, rf := range required {
+		if excluded[rf.v] || covered[rf.v] || wholeCovers(rf.v, whole) {
+			continue
+		}
+		decl := fields[rf.v]
+		if decl == nil {
+			continue // field declared outside the module; nothing to annotate
+		}
+		pass.Reportf(decl.Field.Pos(),
+			"field %s.%s is not hashed by %s; cached results would be shared across configurations that differ in it — hash it or annotate //aquakey:exclude <reason>",
+			rf.owner.Obj().Name(), rf.v.Name(), lint.FuncName(fn))
+	}
+}
+
+// staticCallee resolves a call's target when it is a plain function or
+// method identifier, or nil for function values and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// excludeReason reads a field's //aquakey:exclude annotation from its doc
+// or line comment.
+func excludeReason(f *ast.Field) (reason string, found, empty bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			m := excludeRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			if strings.TrimSpace(m[1]) == "" {
+				return "", true, true
+			}
+			return m[1], true, false
+		}
+	}
+	return "", false, false
+}
+
+// resolveNamedStruct resolves an annotation type name: bare names in the
+// annotating package's scope, "pkg.Name" in any module package whose
+// package name matches.
+func resolveNamedStruct(mod *lint.Module, pkg *lint.Package, name string) *types.Named {
+	lookup := func(scope *types.Scope, n string) *types.Named {
+		tn, ok := scope.Lookup(n).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return nil
+		}
+		return named
+	}
+	if qual, base, ok := strings.Cut(name, "."); ok {
+		for _, p := range mod.Pkgs {
+			if p.Types != nil && p.Types.Name() == qual {
+				if named := lookup(p.Types.Scope(), base); named != nil {
+					return named
+				}
+			}
+		}
+		return nil
+	}
+	if pkg.Types == nil {
+		return nil
+	}
+	return lookup(pkg.Types.Scope(), name)
+}
+
+// namedStruct unwraps pointers, slices, arrays and map values down to a
+// named struct type, or nil.
+func namedStruct(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return u
+			}
+			t = u.Underlying()
+		default:
+			return nil
+		}
+	}
+}
+
+// markWhole marks a struct type and, recursively, its struct-typed
+// fields as wholly covered (the %+v idiom formats nested structs too).
+func markWhole(named *types.Named, whole map[*types.Named]bool) {
+	if whole[named] {
+		return
+	}
+	whole[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if sub := namedStruct(st.Field(i).Type()); sub != nil {
+			markWhole(sub, whole)
+		}
+	}
+}
+
+// wholeCovers reports whether v belongs to a struct type used wholesale.
+func wholeCovers(v *types.Var, whole map[*types.Named]bool) bool {
+	for named := range whole {
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if canonicalField(st.Field(i)) == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// canonicalField maps an instantiated generic struct's field back to its
+// origin declaration, so annotations on the declared field apply.
+func canonicalField(v *types.Var) *types.Var {
+	if o := v.Origin(); o != nil {
+		return o
+	}
+	return v
+}
+
+// firstField returns the first field object of a named struct (used only
+// to test module membership via the Fields index), or nil for empty
+// structs.
+func firstField(named *types.Named) *types.Var {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return nil
+	}
+	return canonicalField(st.Field(0))
+}

@@ -1,0 +1,12 @@
+package keycoverage_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/keycoverage"
+	"repro/internal/lint/linttest"
+)
+
+func TestKeycoverage(t *testing.T) {
+	linttest.Run(t, keycoverage.Analyzer, "testdata", "keycoveragetest")
+}

@@ -1,0 +1,66 @@
+// Package keycoveragetest is the keycoverage corpus: a config struct
+// hashed by a key function, with covered fields, a wholesale-formatted
+// nested struct, a partially hashed nested struct, an excluded field,
+// and seeded coverage gaps.
+package keycoveragetest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Geometry is hashed wholesale via %+v: all its fields — including ones
+// added later — are genuinely covered.
+type Geometry struct {
+	Rows  int
+	Banks int
+}
+
+// Timing is hashed field-by-field, and incompletely.
+type Timing struct {
+	TRCD int
+	TRP  int // want `field Timing\.TRP is not hashed`
+}
+
+// Config is the hashed struct.
+type Config struct {
+	Window int
+	Seed   uint64
+	// Parallel bounds concurrency only.
+	//aquakey:exclude concurrency knob; results are collected by index
+	Parallel int
+	Geometry Geometry
+	Timing   Timing
+	Retries  int // want `field Config\.Retries is not hashed`
+}
+
+// Key hashes a Config. Window and Seed are hashed here; the Timing
+// subfields are hashed two calls down, proving closure-wide evidence.
+//
+//aquakey:hash Config
+func Key(c *Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w=%d seed=%d\n", c.Window, c.Seed)
+	fmt.Fprintf(&b, "geom=%+v\n", c.Geometry)
+	sub(&b, c)
+	return b.String()
+}
+
+func sub(b *strings.Builder, c *Config) {
+	deeper(b, c)
+}
+
+func deeper(b *strings.Builder, c *Config) {
+	fmt.Fprintf(b, "trcd=%d\n", c.Timing.TRCD)
+}
+
+// Bad exercises the annotation-error diagnostics.
+type Bad struct {
+	//aquakey:exclude
+	X int // want `aquakey:exclude needs a reason`
+}
+
+//aquakey:hash Bad NoSuch
+func BadKey(b *Bad) string { // want `aquakey:hash names "NoSuch"`
+	return fmt.Sprint(b.X)
+}

@@ -7,10 +7,15 @@
 // The canonical fix — collect the keys, sort them, then iterate — is
 // recognized: a loop whose appended slice is passed to sort.* or
 // slices.* later in the same block is not flagged.
+//
+// The core detection is exported as FindViolations so the
+// interprocedural detertaint analyzer can apply the same rule to the
+// bodies of functions reachable from determinism roots.
 package maporder
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -27,21 +32,30 @@ var Analyzer = &lint.Analyzer{
 
 func run(pass *lint.Pass) {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			list := stmtList(n)
-			if list == nil {
-				return true
-			}
-			for i, stmt := range list {
-				rng, ok := stmt.(*ast.RangeStmt)
-				if !ok || !isMapRange(pass, rng) {
-					continue
-				}
-				checkBody(pass, rng, list[i+1:])
-			}
-			return true
+		FindViolations(pass.Info, f, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s", msg)
 		})
 	}
+}
+
+// FindViolations walks root and reports each order-dependent effect
+// inside a map-range body. The sorted-later exemption applies within
+// root's statement lists exactly as in the package analyzer.
+func FindViolations(info *types.Info, root ast.Node, report func(pos token.Pos, msg string)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		list := stmtList(n)
+		if list == nil {
+			return true
+		}
+		for i, stmt := range list {
+			rng, ok := stmt.(*ast.RangeStmt)
+			if !ok || !isMapRange(info, rng) {
+				continue
+			}
+			checkBody(info, rng, list[i+1:], report)
+		}
+		return true
+	})
 }
 
 // stmtList returns a node's statement list if it directly holds
@@ -58,8 +72,8 @@ func stmtList(n ast.Node) []ast.Stmt {
 	return nil
 }
 
-func isMapRange(pass *lint.Pass, rng *ast.RangeStmt) bool {
-	t := pass.TypeOf(rng.X)
+func isMapRange(info *types.Info, rng *ast.RangeStmt) bool {
+	t := info.TypeOf(rng.X)
 	if t == nil {
 		return false
 	}
@@ -67,85 +81,94 @@ func isMapRange(pass *lint.Pass, rng *ast.RangeStmt) bool {
 	return ok
 }
 
+// pkgNameOf resolves an identifier to the imported package it names, or
+// nil if it is not a package qualifier.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	if obj, ok := info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
 // checkBody reports order-dependent effects in a map-range body. rest is
 // the tail of the enclosing statement list, used for the sorted-later
 // exemption on appends.
-func checkBody(pass *lint.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+func checkBody(info *types.Info, rng *ast.RangeStmt, rest []ast.Stmt, report func(pos token.Pos, msg string)) {
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.RangeStmt:
 			// A nested map range is checked on its own; its body's
 			// effects should not be double-reported here.
-			if s != rng && isMapRange(pass, s) {
+			if s != rng && isMapRange(info, s) {
 				return false
 			}
 		case *ast.AssignStmt:
 			for _, rhs := range s.Rhs {
 				call, ok := rhs.(*ast.CallExpr)
-				if !ok || !isBuiltinAppend(pass, call) || len(call.Args) == 0 {
+				if !ok || !isBuiltinAppend(info, call) || len(call.Args) == 0 {
 					continue
 				}
-				obj, text := target(pass, call.Args[0])
-				if sortedLater(pass, rest, obj, text) {
+				obj, text := target(info, call.Args[0])
+				if sortedLater(info, rest, obj, text) {
 					continue
 				}
-				pass.Reportf(s.Pos(),
-					"append to %s inside map iteration makes its order nondeterministic; collect keys, sort, then iterate (or sort %s afterwards)",
-					text, text)
+				report(s.Pos(),
+					"append to "+text+" inside map iteration makes its order nondeterministic; collect keys, sort, then iterate (or sort "+text+" afterwards)")
 			}
 			for _, lhs := range s.Lhs {
 				idx, ok := lhs.(*ast.IndexExpr)
 				if !ok {
 					continue
 				}
-				t := pass.TypeOf(idx.X)
+				t := info.TypeOf(idx.X)
 				if t == nil {
 					continue
 				}
 				switch t.Underlying().(type) {
 				case *types.Slice, *types.Array:
-					_, text := target(pass, idx.X)
-					pass.Reportf(s.Pos(),
-						"indexed write to %s inside map iteration depends on iteration order; iterate over sorted keys",
-						text)
+					_, text := target(info, idx.X)
+					report(s.Pos(),
+						"indexed write to "+text+" inside map iteration depends on iteration order; iterate over sorted keys")
 				}
 			}
 		case *ast.CallExpr:
-			if name, ok := outputCall(pass, s); ok {
-				pass.Reportf(s.Pos(),
-					"%s inside map iteration emits output in nondeterministic order; iterate over sorted keys", name)
+			if name, ok := outputCall(info, s); ok {
+				report(s.Pos(),
+					name+" inside map iteration emits output in nondeterministic order; iterate over sorted keys")
 			}
 		}
 		return true
 	})
 }
 
-func isBuiltinAppend(pass *lint.Pass, call *ast.CallExpr) bool {
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok || id.Name != "append" {
 		return false
 	}
-	obj := pass.Info.Uses[id]
+	obj := info.Uses[id]
 	_, isBuiltin := obj.(*types.Builtin)
 	return isBuiltin
 }
 
 // target resolves the object and display text of an assignment target or
 // append destination (handles plain identifiers and field selectors).
-func target(pass *lint.Pass, e ast.Expr) (types.Object, string) {
+func target(info *types.Info, e ast.Expr) (types.Object, string) {
 	switch x := e.(type) {
 	case *ast.Ident:
-		return pass.Info.ObjectOf(x), x.Name
+		return info.ObjectOf(x), x.Name
 	case *ast.SelectorExpr:
-		_, text := target(pass, x.X)
-		return pass.Info.ObjectOf(x.Sel), text + "." + x.Sel.Name
+		_, text := target(info, x.X)
+		return info.ObjectOf(x.Sel), text + "." + x.Sel.Name
 	}
 	return nil, types.ExprString(e)
 }
 
 // sortedLater reports whether a later statement in the same block passes
 // the appended slice to sort.* or slices.* — the collect-then-sort idiom.
-func sortedLater(pass *lint.Pass, rest []ast.Stmt, obj types.Object, text string) bool {
+func sortedLater(info *types.Info, rest []ast.Stmt, obj types.Object, text string) bool {
 	if obj == nil && text == "" {
 		return false
 	}
@@ -164,7 +187,7 @@ func sortedLater(pass *lint.Pass, rest []ast.Stmt, obj types.Object, text string
 			if !ok {
 				return true
 			}
-			pn := pass.PkgNameOf(id)
+			pn := pkgNameOf(info, id)
 			if pn == nil {
 				return true
 			}
@@ -172,7 +195,7 @@ func sortedLater(pass *lint.Pass, rest []ast.Stmt, obj types.Object, text string
 				return true
 			}
 			for _, arg := range call.Args {
-				if mentions(pass, arg, obj, text) {
+				if mentions(info, arg, obj, text) {
 					found = true
 					return false
 				}
@@ -188,17 +211,17 @@ func sortedLater(pass *lint.Pass, rest []ast.Stmt, obj types.Object, text string
 
 // mentions reports whether expr references the given object (or, for
 // field targets, the same selector text).
-func mentions(pass *lint.Pass, expr ast.Expr, obj types.Object, text string) bool {
+func mentions(info *types.Info, expr ast.Expr, obj types.Object, text string) bool {
 	hit := false
 	ast.Inspect(expr, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.Ident:
-			if obj != nil && pass.Info.ObjectOf(x) == obj {
+			if obj != nil && info.ObjectOf(x) == obj {
 				hit = true
 				return false
 			}
 		case *ast.SelectorExpr:
-			if o, t := target(pass, x); (obj != nil && o == obj) || (text != "" && t == text) {
+			if o, t := target(info, x); (obj != nil && o == obj) || (text != "" && t == text) {
 				hit = true
 				return false
 			}
@@ -211,14 +234,14 @@ func mentions(pass *lint.Pass, expr ast.Expr, obj types.Object, text string) boo
 // outputCall recognizes calls that emit ordered output: fmt.Print* /
 // fmt.Fprint* package calls and writer-shaped methods (Write*, Print*,
 // AddRow) on any receiver.
-func outputCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
 	name := sel.Sel.Name
 	if id, ok := sel.X.(*ast.Ident); ok {
-		if pn := pass.PkgNameOf(id); pn != nil {
+		if pn := pkgNameOf(info, id); pn != nil {
 			if pn.Imported().Path() == "fmt" &&
 				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
 				return "fmt." + name, true
@@ -228,7 +251,7 @@ func outputCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
 	}
 	// Method calls: only writer-shaped names count, and only when the
 	// receiver is a named method receiver (not a package qualifier).
-	if pass.Info.Selections[sel] == nil {
+	if info.Selections[sel] == nil {
 		return "", false
 	}
 	if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") || name == "AddRow" {

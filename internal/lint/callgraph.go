@@ -1,0 +1,311 @@
+package lint
+
+// Call-graph construction for the interprocedural analyzers. The graph
+// is deliberately conservative in the direction that matters for the
+// determinism rules (no nondeterminism source may go unseen):
+//
+//   - Every reference to a function or method — call position or not —
+//     is an edge from the enclosing declared function. Passing a method
+//     value into a callback (`c.Issue(t, ctrl.Submit)`) therefore links
+//     the passer to Submit even though the call happens elsewhere.
+//   - Function literals are attributed to the declared function whose
+//     body lexically contains them, so work done inside closures handed
+//     to flight.Protect / singleflight is charged to their creator.
+//   - Calls through interface methods are devirtualized over the
+//     module's concrete named types: an edge is added to every method
+//     implementation whose type satisfies the interface (marked
+//     Dynamic). Stdlib internals stay opaque leaves — sinks are
+//     detected at the module-side reference, which is where they occur.
+//
+// Nodes are canonical *types.Func objects (generic origins, so every
+// instantiation of flight.Group shares one node per method).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Edge is one caller→callee reference.
+type Edge struct {
+	Caller *types.Func
+	Callee *types.Func
+	// Pos is the reference site (the callee identifier).
+	Pos token.Pos
+	// Dynamic marks a devirtualized interface-method edge: the callee is
+	// one possible implementation, not a proven direct call.
+	Dynamic bool
+}
+
+// FuncInfo ties a module-declared function to its AST.
+type FuncInfo struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// CallGraph is the module's reference graph.
+type CallGraph struct {
+	Mod *Module
+
+	funcs []*types.Func // module-declared, in (package, file, decl) order
+	decls map[*types.Func]*FuncInfo
+	out   map[*types.Func][]Edge
+	in    map[*types.Func][]Edge
+
+	concrete []types.Type                  // named non-interface module types (value form)
+	devirt   map[*types.Func][]*types.Func // interface method -> implementations
+}
+
+// BuildCallGraph walks every function declared in the module and records
+// its outgoing references.
+func BuildCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{
+		Mod:    mod,
+		decls:  make(map[*types.Func]*FuncInfo),
+		out:    make(map[*types.Func][]Edge),
+		in:     make(map[*types.Func][]Edge),
+		devirt: make(map[*types.Func][]*types.Func),
+	}
+	g.collectDecls()
+	g.collectConcreteTypes()
+	for _, fn := range g.funcs {
+		g.addEdges(fn)
+	}
+	return g
+}
+
+// Functions returns every function declared in the module, in
+// deterministic (package dependency, file, declaration) order.
+func (g *CallGraph) Functions() []*types.Func { return g.funcs }
+
+// Decl returns the declaration site of a module function, or nil for
+// functions declared outside the module (stdlib leaves).
+func (g *CallGraph) Decl(fn *types.Func) *FuncInfo { return g.decls[fn] }
+
+// CallsFrom returns fn's outgoing edges in source order.
+func (g *CallGraph) CallsFrom(fn *types.Func) []Edge { return g.out[fn] }
+
+// CallersOf returns fn's incoming edges.
+func (g *CallGraph) CallersOf(fn *types.Func) []Edge { return g.in[fn] }
+
+func (g *CallGraph) collectDecls() {
+	for _, pkg := range g.Mod.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn = origin(fn)
+				g.funcs = append(g.funcs, fn)
+				g.decls[fn] = &FuncInfo{Pkg: pkg, Decl: fd}
+			}
+		}
+	}
+}
+
+func (g *CallGraph) collectConcreteTypes() {
+	for _, pkg := range g.Mod.Pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			g.concrete = append(g.concrete, t)
+		}
+	}
+}
+
+// addEdges walks fn's body (function literals included) and records an
+// edge for every identifier resolving to a function object.
+func (g *CallGraph) addEdges(fn *types.Func) {
+	info := g.decls[fn]
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		callee, ok := info.Pkg.Info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		callee = origin(callee)
+		if isInterfaceMethod(callee) {
+			for _, impl := range g.implementations(callee) {
+				g.link(Edge{Caller: fn, Callee: impl, Pos: id.Pos(), Dynamic: true})
+			}
+		}
+		g.link(Edge{Caller: fn, Callee: callee, Pos: id.Pos()})
+		return true
+	})
+}
+
+func (g *CallGraph) link(e Edge) {
+	g.out[e.Caller] = append(g.out[e.Caller], e)
+	g.in[e.Callee] = append(g.in[e.Callee], e)
+}
+
+// implementations resolves an interface method to the module's concrete
+// methods satisfying it, memoized per interface method.
+func (g *CallGraph) implementations(m *types.Func) []*types.Func {
+	if impls, ok := g.devirt[m]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	recv := m.Type().(*types.Signature).Recv().Type()
+	iface, ok := recv.Underlying().(*types.Interface)
+	if ok {
+		for _, t := range g.concrete {
+			if !types.Implements(t, iface) && !types.Implements(types.NewPointer(t), iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, m.Pkg(), m.Name())
+			if impl, ok := obj.(*types.Func); ok {
+				impls = append(impls, origin(impl))
+			}
+		}
+	}
+	g.devirt[m] = impls
+	return impls
+}
+
+// origin canonicalizes an instantiated generic function or method to its
+// declared (generic) form, so every instantiation shares one node.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// Reach is the result of one reachability query: which functions are
+// transitively referenced from a root set, with one witness path each.
+type Reach struct {
+	g    *CallGraph
+	from map[*types.Func]*Edge // witness edge into each reached function (nil for roots)
+}
+
+// Reachable computes the functions transitively referenced from roots.
+// skip, when non-nil, prunes traversal: a skipped function is neither
+// reached nor traversed through (detertaint uses it for reviewed sinks).
+func (g *CallGraph) Reachable(roots []*types.Func, skip func(*types.Func) bool) *Reach {
+	r := &Reach{g: g, from: make(map[*types.Func]*Edge)}
+	var queue []*types.Func
+	for _, root := range roots {
+		root = origin(root)
+		if skip != nil && skip(root) {
+			continue
+		}
+		if _, ok := r.from[root]; ok {
+			continue
+		}
+		r.from[root] = nil
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for i := range g.out[fn] {
+			e := &g.out[fn][i]
+			callee := e.Callee
+			if skip != nil && skip(callee) {
+				continue
+			}
+			if _, ok := r.from[callee]; ok {
+				continue
+			}
+			r.from[callee] = e
+			queue = append(queue, callee)
+		}
+	}
+	return r
+}
+
+// Has reports whether fn was reached.
+func (r *Reach) Has(fn *types.Func) bool {
+	_, ok := r.from[origin(fn)]
+	return ok
+}
+
+// Path returns a witness root→…→fn chain, or nil if fn was not reached.
+func (r *Reach) Path(fn *types.Func) []*types.Func {
+	fn = origin(fn)
+	if _, ok := r.from[fn]; !ok {
+		return nil
+	}
+	var rev []*types.Func
+	for cur := fn; ; {
+		rev = append(rev, cur)
+		e := r.from[cur]
+		if e == nil {
+			break
+		}
+		cur = e.Caller
+	}
+	path := make([]*types.Func, len(rev))
+	for i, fn := range rev {
+		path[len(rev)-1-i] = fn
+	}
+	return path
+}
+
+// PathString renders a witness chain as "root → … → fn" for diagnostics.
+func (r *Reach) PathString(fn *types.Func) string {
+	path := r.Path(fn)
+	names := make([]string, len(path))
+	for i, fn := range path {
+		names[i] = FuncName(fn)
+	}
+	return strings.Join(names, " → ")
+}
+
+// FuncName renders fn for diagnostics: pkg.Func for package-level
+// functions, (*pkg.T).Method / (pkg.T).Method for methods, with the
+// package's short name.
+func FuncName(fn *types.Func) string {
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkgName + fn.Name()
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		return fmt.Sprintf("(*%s%s).%s", pkgName, typeBaseName(ptr.Elem()), fn.Name())
+	}
+	return fmt.Sprintf("(%s%s).%s", pkgName, typeBaseName(recv), fn.Name())
+}
+
+func typeBaseName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

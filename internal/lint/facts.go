@@ -1,0 +1,63 @@
+package lint
+
+// Facts: the cross-package side channel between analysis passes, the
+// stdlib-only analogue of x/tools go/analysis facts. An analyzer's scan
+// phase exports a fact about a function or type (e.g. "this function is
+// a reviewed determinism sink", "this field is guarded by that mutex");
+// the check phase — of the same analyzer or a later one in the suite —
+// imports it, including across package boundaries, because the store is
+// keyed by types.Object and shared across the whole module run.
+
+import (
+	"go/types"
+	"sort"
+)
+
+type factKey struct {
+	obj  types.Object
+	name string
+}
+
+// Facts is a per-run store of named facts about program objects. One
+// store is shared by every module analyzer of a RunModuleAnalyzers call,
+// in suite order, so downstream analyzers can consume upstream exports.
+type Facts struct {
+	m map[factKey]any
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: make(map[factKey]any)} }
+
+// Export records fact `name` about obj. A second export for the same
+// (obj, name) overwrites the first.
+func (f *Facts) Export(obj types.Object, name string, v any) {
+	if obj == nil {
+		return
+	}
+	f.m[factKey{obj, name}] = v
+}
+
+// Import returns the fact `name` recorded about obj, if any.
+func (f *Facts) Import(obj types.Object, name string) (any, bool) {
+	v, ok := f.m[factKey{obj, name}]
+	return v, ok
+}
+
+// Has reports whether fact `name` is recorded about obj.
+func (f *Facts) Has(obj types.Object, name string) bool {
+	_, ok := f.m[factKey{obj, name}]
+	return ok
+}
+
+// Objects returns every object carrying fact `name`, ordered by source
+// position so consumers iterate deterministically.
+func (f *Facts) Objects(name string) []types.Object {
+	var out []types.Object
+	for k := range f.m {
+		if k.name == name {
+			out = append(out, k.obj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

@@ -3,12 +3,20 @@
 // library's go/ast and go/types so the repository carries no external
 // dependencies. It powers cmd/aqualint, the multichecker that enforces
 // the simulator's determinism and timing-soundness rules (see DESIGN.md,
-// "Determinism & invariants").
+// "Static analysis v2").
 //
-// An Analyzer inspects one type-checked package at a time through a Pass
-// and reports diagnostics with Pass.Reportf. Diagnostics on a line that
-// carries an `//aqualint:ignore <name>` comment are suppressed, giving
-// call sites a reviewed escape hatch.
+// Analyzers come in two depths. A per-package analyzer inspects one
+// type-checked package at a time through a Pass. A module analyzer
+// (Analyzer.RunModule) sees the whole loaded module at once through a
+// ModulePass — every package in dependency order, a call graph with
+// interface devirtualization (see callgraph.go), and a cross-package
+// facts store (see facts.go) — which is what the interprocedural rules
+// (detertaint, keycoverage, guardedby) are built on.
+//
+// Diagnostics on a line that carries an `//aqualint:ignore <name>`
+// comment are suppressed, giving call sites a reviewed escape hatch.
+// Suppressions are tracked: UnusedIgnores reports directives that
+// suppressed nothing, so stale escape hatches cannot accumulate.
 package lint
 
 import (
@@ -33,7 +41,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. Exactly one of Run and RunModule is set:
+// Run makes a per-package analyzer, RunModule a whole-module one.
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in reports and in
 	// `//aqualint:ignore <name>` suppression comments.
@@ -43,9 +52,13 @@ type Analyzer struct {
 	// Applies filters packages by import path; nil means every package.
 	// Paths outside the module (e.g. the "a"-style paths of test corpora)
 	// should be accepted so analyzer tests are unaffected by scoping.
+	// Module analyzers ignore it — they always see the whole module.
 	Applies func(pkgPath string) bool
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule inspects the whole loaded module at once, with the call
+	// graph and facts store available (see RunModuleAnalyzers).
+	RunModule func(pass *ModulePass)
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -58,16 +71,14 @@ type Pass struct {
 	PkgPath  string
 
 	diags   *[]Diagnostic
-	ignores map[string]map[int][]string // filename -> line -> analyzer names ("" = all)
+	ignores *ignoreIndex
 }
 
 // Reportf records a diagnostic at pos unless the line is suppressed.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	for _, name := range p.ignores[position.Filename][position.Line] {
-		if name == "" || name == p.Analyzer.Name {
-			return
-		}
+	if p.ignores.suppress(p.Analyzer.Name, position) {
+		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
@@ -108,9 +119,52 @@ func (p *Pass) IsPkgCall(call *ast.CallExpr, pkgPath, name string) bool {
 
 var ignoreRe = regexp.MustCompile(`^//\s*aqualint:ignore(?:\s+([A-Za-z0-9_,-]+))?`)
 
-// buildIgnores indexes `//aqualint:ignore` comments by file and line.
-func buildIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
-	out := make(map[string]map[int][]string)
+// ignoreEntry is one analyzer name on one `//aqualint:ignore` comment
+// ("" = all analyzers). used is set when the entry suppresses a
+// diagnostic, which is what the stale-suppression audit keys on.
+type ignoreEntry struct {
+	pos  token.Position
+	name string
+	used bool
+}
+
+// ignoreIndex holds a package's ignore directives by file and line. A
+// package builds it once (Package.ignoreIndex) so suppression hits are
+// shared between per-package and module analyses of the same load.
+type ignoreIndex struct {
+	byLine map[string]map[int][]*ignoreEntry
+	all    []*ignoreEntry
+}
+
+// suppress reports whether a diagnostic from the named analyzer at pos is
+// ignored, marking the matching entry used. Nil-safe (nothing suppressed).
+func (ix *ignoreIndex) suppress(analyzer string, pos token.Position) bool {
+	if ix == nil {
+		return false
+	}
+	hit := false
+	for _, e := range ix.byLine[pos.Filename][pos.Line] {
+		if e.name == "" || e.name == analyzer {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// newIgnoreIndex indexes `//aqualint:ignore` comments by file and line.
+func newIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	ix := &ignoreIndex{byLine: make(map[string]map[int][]*ignoreEntry)}
+	add := func(pos token.Position, name string) {
+		lines := ix.byLine[pos.Filename]
+		if lines == nil {
+			lines = make(map[int][]*ignoreEntry)
+			ix.byLine[pos.Filename] = lines
+		}
+		e := &ignoreEntry{pos: pos, name: name}
+		lines[pos.Line] = append(lines[pos.Line], e)
+		ix.all = append(ix.all, e)
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -119,30 +173,28 @@ func buildIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int][]s
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					out[pos.Filename] = lines
-				}
 				if m[1] == "" {
-					lines[pos.Line] = append(lines[pos.Line], "")
+					add(pos, "")
 					continue
 				}
 				for _, name := range strings.Split(m[1], ",") {
-					lines[pos.Line] = append(lines[pos.Line], strings.TrimSpace(name))
+					add(pos, strings.TrimSpace(name))
 				}
 			}
 		}
 	}
-	return out
+	return ix
 }
 
-// RunAnalyzers applies every applicable analyzer to a loaded package and
-// returns the diagnostics sorted by position.
+// RunAnalyzers applies every applicable per-package analyzer to a loaded
+// package and returns the diagnostics sorted by position. Analyzers with
+// only RunModule set are skipped; use RunModuleAnalyzers for those.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	ignores := buildIgnores(pkg.Fset, pkg.Files)
 	for _, an := range analyzers {
+		if an.Run == nil {
+			continue
+		}
 		if an.Applies != nil && !an.Applies(pkg.Path) {
 			continue
 		}
@@ -154,10 +206,109 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Info:     pkg.Info,
 			PkgPath:  pkg.Path,
 			diags:    &diags,
-			ignores:  ignores,
+			ignores:  pkg.ignoreIndex(),
 		}
 		an.Run(pass)
 	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// ModulePass carries the whole loaded module through one module
+// analyzer: every package in dependency order, the call graph, and the
+// shared facts store. Analyzers run in suite order over one store, so a
+// fact exported by an earlier analyzer is importable by a later one.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	Graph    *CallGraph
+	Facts    *Facts
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless the line carries a matching
+// `//aqualint:ignore` comment (looked up in the package owning pos).
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
+	if pkg := p.Mod.PackageOf(position.Filename); pkg != nil {
+		if pkg.ignoreIndex().suppress(p.Analyzer.Name, position) {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunModuleAnalyzers builds the module's call graph once and applies
+// every module analyzer in the suite, returning the diagnostics sorted
+// by position.
+func RunModuleAnalyzers(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	var graph *CallGraph
+	facts := NewFacts()
+	for _, an := range analyzers {
+		if an.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(mod)
+		}
+		an.RunModule(&ModulePass{
+			Analyzer: an,
+			Mod:      mod,
+			Graph:    graph,
+			Facts:    facts,
+			diags:    &diags,
+		})
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// UnusedIgnores audits the given packages for `//aqualint:ignore`
+// directives that suppressed nothing in the analyses run so far. enabled
+// names the analyzers that actually ran: an unused entry naming a
+// disabled analyzer is not reported (it may well suppress something when
+// its analyzer runs), and blanket entries (no analyzer name) are only
+// reported when the full suite ran (full = true).
+func UnusedIgnores(pkgs []*Package, enabled map[string]bool, full bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, e := range pkg.ignoreIndex().all {
+			if e.used {
+				continue
+			}
+			if e.name == "" {
+				if !full {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "unusedignore",
+					Pos:      e.pos,
+					Message:  "aqualint:ignore suppresses nothing; remove the stale directive",
+				})
+				continue
+			}
+			if enabled != nil && !enabled[e.name] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "unusedignore",
+				Pos:      e.pos,
+				Message:  fmt.Sprintf("aqualint:ignore %s suppresses no %s diagnostic; remove the stale directive", e.name, e.name),
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -171,5 +322,4 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }

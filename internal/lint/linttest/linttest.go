@@ -50,7 +50,13 @@ func Run(t *testing.T, an *lint.Analyzer, testdataDir string, pkgs ...string) {
 		if err != nil {
 			t.Fatalf("linttest: %v", err)
 		}
-		diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{an})
+		var diags []lint.Diagnostic
+		if an.RunModule != nil {
+			mod := lint.ModuleFromPackages(loader, pkg)
+			diags = lint.RunModuleAnalyzers(mod, []*lint.Analyzer{an})
+		} else {
+			diags = lint.RunAnalyzers(pkg, []*lint.Analyzer{an})
+		}
 
 		for _, d := range diags {
 			matched := false

@@ -3,12 +3,15 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
+	"go/version"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -28,6 +31,18 @@ type Package struct {
 	// best-effort in their presence (mirroring x/tools behaviour for
 	// corpora that deliberately contain odd code).
 	TypeErrors []error
+
+	ign *ignoreIndex // built on first use; shared across analyses
+}
+
+// ignoreIndex returns the package's `//aqualint:ignore` index, building
+// it on first use. Sharing one index across per-package and module
+// analyses is what lets the unused-suppression audit see every hit.
+func (p *Package) ignoreIndex() *ignoreIndex {
+	if p.ign == nil {
+		p.ign = newIgnoreIndex(p.Fset, p.Files)
+	}
+	return p.ign
 }
 
 // Loader parses and type-checks packages of one module, resolving
@@ -38,9 +53,22 @@ type Loader struct {
 	ModuleDir  string
 	ModulePath string
 
-	std  types.Importer
-	pkgs map[string]*Package // memoized by directory (cleaned, absolute)
-	seen map[string]bool     // import-cycle guard by import path
+	std     types.Importer
+	pkgs    map[string]*Package // memoized by directory (cleaned, absolute)
+	seen    map[string]bool     // import-cycle guard by import path
+	loading map[string]bool     // directories currently mid-load (re-entrancy = cycle)
+	order   []*Package          // completion order: imports before importers
+}
+
+// Loaded returns every package this loader has finished loading, in
+// completion order. Because Load resolves a package's module-internal
+// imports before the package itself completes, this order is
+// topological: dependencies come before dependents, which is the order
+// module analyses process packages in.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, len(l.order))
+	copy(out, l.order)
+	return out
 }
 
 // NewLoader builds a loader rooted at the module containing dir (the
@@ -62,6 +90,7 @@ func NewLoader(dir string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
 		seen:       make(map[string]bool),
+		loading:    make(map[string]bool),
 	}, nil
 }
 
@@ -148,6 +177,13 @@ func (l *Loader) LoadAs(dir, path string) (*Package, error) {
 	if pkg, ok := l.pkgs[abs]; ok {
 		return pkg, nil
 	}
+	// A directory re-entered while its own load is still running can only
+	// mean its imports lead back to it.
+	if l.loading[abs] {
+		return nil, fmt.Errorf("lint: import cycle through %s", abs)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
 	entries, err := os.ReadDir(abs)
 	if err != nil {
 		return nil, err
@@ -156,7 +192,8 @@ func (l *Loader) LoadAs(dir, path string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
 		names = append(names, name)
@@ -172,7 +209,13 @@ func (l *Loader) LoadAs(dir, path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !fileIncluded(f) {
+			continue
+		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s after build constraints", abs)
 	}
 
 	if path == "" {
@@ -187,6 +230,7 @@ func (l *Loader) LoadAs(dir, path string) (*Package, error) {
 			Types:      make(map[ast.Expr]types.TypeAndValue),
 			Defs:       make(map[*ast.Ident]types.Object),
 			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 			Scopes:     make(map[ast.Node]*types.Scope),
 		},
@@ -203,7 +247,58 @@ func (l *Loader) LoadAs(dir, path string) (*Package, error) {
 	}
 	pkg.Types = tpkg
 	l.pkgs[abs] = pkg
+	l.order = append(l.order, pkg)
 	return pkg, nil
+}
+
+// fileIncluded evaluates a file's `//go:build` constraint (if any)
+// against the host: GOOS, GOARCH, unix, the gc toolchain, and go1.N
+// language-version tags are satisfied as the go tool would satisfy them;
+// anything else (ignore, custom tags) is false. Files with no constraint
+// are always included.
+func fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		// Build constraints must precede the package clause.
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// An unparsable constraint excludes the file, matching
+				// the go tool's refusal to build it.
+				return false
+			}
+			if !expr.Eval(buildTagSatisfied) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// unixGOOS mirrors the go tool's "unix" build-tag set (the subset that
+// matters for this module's platforms).
+var unixGOOS = map[string]bool{
+	"aix": true, "darwin": true, "dragonfly": true, "freebsd": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// buildTagSatisfied reports whether one build tag holds on this host.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	if strings.HasPrefix(tag, "go1") && version.IsValid(tag) {
+		return version.Compare(version.Lang(runtime.Version()), tag) >= 0
+	}
+	return false
 }
 
 // PackageDirs expands a pattern list into package directories. Patterns

@@ -1,0 +1,163 @@
+package lint
+
+// Module loading: the whole-program view behind the interprocedural
+// analyzers. A Module holds every package of one load in dependency
+// order (imports before importers — the order the Loader completes them
+// in), plus the lookups module analyzers need: package by import path,
+// package by file, function objects by name, and struct-field
+// declaration sites for annotation-driven rules.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Module is one whole-program load: the requested packages plus every
+// module-internal dependency, type-checked, in dependency order.
+type Module struct {
+	Loader *Loader
+	Fset   *token.FileSet
+	// Pkgs is every loaded package in dependency order: a package's
+	// module-internal imports precede it.
+	Pkgs []*Package
+	// Requested is the subset of Pkgs named by the load patterns (in
+	// sorted directory order); the rest were pulled in as dependencies.
+	Requested []*Package
+
+	byPath map[string]*Package
+	byFile map[string]*Package
+	fields map[*types.Var]*FieldDecl // built on first use
+}
+
+// LoadModule loads every package matched by patterns rooted at root,
+// plus (transitively) their module-internal imports. Packages that fail
+// to load hard (unparsable files, unresolvable imports) are reported in
+// the returned error slice; the module still carries every package that
+// did load, so analysis degrades per-package instead of aborting. Soft
+// type errors live on each Package.TypeErrors.
+func LoadModule(root string, patterns []string) (*Module, []error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, []error{err}
+	}
+	dirs, err := PackageDirs(root, patterns)
+	if err != nil {
+		return nil, []error{err}
+	}
+	var errs []error
+	var requested []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", dir, err))
+			continue
+		}
+		requested = append(requested, pkg)
+	}
+	mod := newModule(loader, loader.Loaded())
+	mod.Requested = requested
+	return mod, errs
+}
+
+// ModuleFromPackages wraps already-loaded packages as a Module, in the
+// given order. Analyzer tests use it to run module analyzers over a
+// single corpus package.
+func ModuleFromPackages(l *Loader, pkgs ...*Package) *Module {
+	mod := newModule(l, pkgs)
+	mod.Requested = append([]*Package(nil), pkgs...)
+	return mod
+}
+
+func newModule(l *Loader, pkgs []*Package) *Module {
+	mod := &Module{
+		Loader: l,
+		Fset:   l.Fset,
+		Pkgs:   pkgs,
+		byPath: make(map[string]*Package, len(pkgs)),
+		byFile: make(map[string]*Package),
+	}
+	for _, pkg := range pkgs {
+		mod.byPath[pkg.Path] = pkg
+		for _, f := range pkg.Files {
+			mod.byFile[l.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	return mod
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (m *Module) Package(path string) *Package { return m.byPath[path] }
+
+// PackageOf returns the loaded package owning the given file, or nil.
+func (m *Module) PackageOf(filename string) *Package { return m.byFile[filename] }
+
+// FindFunc resolves a function or method in a loaded package: recv ""
+// names a package-level function, otherwise the method recv.name (recv
+// is the bare receiver type name, no pointer). Returns nil if absent.
+func (m *Module) FindFunc(pkgPath, recv, name string) *types.Func {
+	pkg := m.byPath[pkgPath]
+	if pkg == nil || pkg.Types == nil {
+		return nil
+	}
+	scope := pkg.Types.Scope()
+	if recv == "" {
+		fn, _ := scope.Lookup(name).(*types.Func)
+		return fn
+	}
+	tn, ok := scope.Lookup(recv).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tn.Type()), true, pkg.Types, name)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// FieldDecl records where a struct field was declared: the package, the
+// struct literal, and the field's AST node (whose Doc and Comment carry
+// annotations like `//aquakey:exclude` and `// guarded by mu`).
+type FieldDecl struct {
+	Pkg    *Package
+	Struct *ast.StructType
+	Field  *ast.Field
+}
+
+// Fields maps every struct field object declared in the module to its
+// declaration site, built on first use. Annotation-driven analyzers
+// (keycoverage, guardedby) use it to read field comments and find
+// sibling fields.
+func (m *Module) Fields() map[*types.Var]*FieldDecl {
+	if m.fields != nil {
+		return m.fields
+	}
+	m.fields = make(map[*types.Var]*FieldDecl)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					if len(f.Names) == 0 {
+						// Embedded field: its implicit *Var is recorded
+						// against the *ast.Field node.
+						if v, ok := pkg.Info.Implicits[f].(*types.Var); ok {
+							m.fields[v] = &FieldDecl{Pkg: pkg, Struct: st, Field: f}
+						}
+						continue
+					}
+					for _, name := range f.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							m.fields[v] = &FieldDecl{Pkg: pkg, Struct: st, Field: f}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return m.fields
+}

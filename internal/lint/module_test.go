@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// demoModule is a two-package module: base is a leaf, app depends on it
+// and exercises the call-graph shapes the interprocedural analyzers
+// rely on (direct calls, method values, closures, interface dispatch).
+var demoModule = map[string]string{
+	"go.mod": demoGoMod,
+	"base/base.go": `package base
+
+// Ticker is implemented by app.Clock.
+type Ticker interface{ Tick() int }
+
+// Run dispatches through the interface.
+func Run(t Ticker) int { return t.Tick() }
+`,
+	"app/app.go": `package app
+
+import "demo/base"
+
+// Clock implements base.Ticker.
+type Clock struct {
+	N int // guarded by nothing, just a field
+}
+
+func (c *Clock) Tick() int { return c.N }
+
+// Helper is referenced as a method value, never called directly.
+func (c *Clock) Helper() int { return c.N + 1 }
+
+func Main() int {
+	c := &Clock{N: 1}
+	f := c.Helper
+	_ = f
+	closure := func() int { return base.Run(c) }
+	return closure()
+}
+`,
+}
+
+func loadDemo(t *testing.T) *Module {
+	t.Helper()
+	root := writeTree(t, demoModule)
+	mod, errs := LoadModule(root, []string{"./..."})
+	if len(errs) > 0 {
+		t.Fatalf("LoadModule: %v", errs)
+	}
+	return mod
+}
+
+func TestLoadModuleDependencyOrder(t *testing.T) {
+	mod := loadDemo(t)
+	pos := make(map[string]int)
+	for i, pkg := range mod.Pkgs {
+		pos[pkg.Path] = i
+	}
+	if pos["demo/base"] >= pos["demo/app"] {
+		t.Fatalf("dependency order violated: base at %d, app at %d", pos["demo/base"], pos["demo/app"])
+	}
+	if len(mod.Requested) != 2 {
+		t.Fatalf("want 2 requested packages, got %d", len(mod.Requested))
+	}
+	if mod.Package("demo/app") == nil || mod.Package("demo/nope") != nil {
+		t.Fatal("Package lookup by import path broken")
+	}
+}
+
+func TestLoadModuleCollectsPerDirFailures(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":       demoGoMod,
+		"good/g.go":    "package good\n\nfunc G() {}\n",
+		"broken/b.go":  "package broken\n\nfunc {garbage\n",
+		"broken/ok.go": "package broken\n",
+	})
+	mod, errs := LoadModule(root, []string{"./..."})
+	if len(errs) != 1 {
+		t.Fatalf("want 1 load error, got %v", errs)
+	}
+	if mod == nil || mod.Package("demo/good") == nil {
+		t.Fatal("healthy package must survive a sibling's load failure")
+	}
+}
+
+func TestModuleFindFuncAndFields(t *testing.T) {
+	mod := loadDemo(t)
+	if fn := mod.FindFunc("demo/app", "Clock", "Tick"); fn == nil || fn.Name() != "Tick" {
+		t.Fatalf("FindFunc method lookup failed: %v", fn)
+	}
+	if fn := mod.FindFunc("demo/app", "", "Main"); fn == nil {
+		t.Fatal("FindFunc package-level lookup failed")
+	}
+	if fn := mod.FindFunc("demo/app", "Clock", "NoSuch"); fn != nil {
+		t.Fatalf("FindFunc invented a method: %v", fn)
+	}
+
+	var foundN bool
+	for v, decl := range mod.Fields() {
+		if v.Name() == "N" {
+			foundN = true
+			if decl.Pkg.Path != "demo/app" || decl.Field == nil || decl.Struct == nil {
+				t.Fatalf("field decl incomplete: %+v", decl)
+			}
+		}
+	}
+	if !foundN {
+		t.Fatal("Fields() missed Clock.N")
+	}
+
+	appFile := mod.Fset.Position(mod.Package("demo/app").Files[0].Pos()).Filename
+	if mod.PackageOf(appFile) != mod.Package("demo/app") {
+		t.Fatal("PackageOf lookup broken")
+	}
+	if mod.PackageOf(filepath.Join("no", "such", "file.go")) != nil {
+		t.Fatal("PackageOf invented a package")
+	}
+}
+
+func TestCallGraphEdgesAndDevirtualization(t *testing.T) {
+	mod := loadDemo(t)
+	g := BuildCallGraph(mod)
+
+	mainFn := mod.FindFunc("demo/app", "", "Main")
+	tick := mod.FindFunc("demo/app", "Clock", "Tick")
+	helper := mod.FindFunc("demo/app", "Clock", "Helper")
+	run := mod.FindFunc("demo/base", "", "Run")
+
+	edges := func(fn *types.Func) map[string]bool {
+		out := make(map[string]bool)
+		for _, e := range g.CallsFrom(fn) {
+			out[FuncName(e.Callee)] = true
+		}
+		return out
+	}
+
+	// Main references Helper as a method value and Run inside a closure.
+	mainEdges := edges(mainFn)
+	if !mainEdges[FuncName(helper)] {
+		t.Fatalf("method-value reference missing from Main's edges: %v", mainEdges)
+	}
+	if !mainEdges[FuncName(run)] {
+		t.Fatalf("closure-attributed call missing from Main's edges: %v", mainEdges)
+	}
+
+	// Run calls Ticker.Tick; devirtualization must add a Dynamic edge to
+	// the only implementation.
+	var dynamic bool
+	for _, e := range g.CallsFrom(run) {
+		if e.Callee == tick && e.Dynamic {
+			dynamic = true
+		}
+	}
+	if !dynamic {
+		t.Fatalf("devirtualized edge Run→Tick missing: %v", edges(run))
+	}
+
+	// Reachability: Main → Run → Tick, with a witness path.
+	reach := g.Reachable([]*types.Func{mainFn}, nil)
+	if !reach.Has(tick) {
+		t.Fatal("Tick not reachable from Main through the interface")
+	}
+	path := reach.PathString(tick)
+	for _, part := range []string{"app.Main", "base.Run", "Tick"} {
+		if !strings.Contains(path, part) {
+			t.Fatalf("witness path %q missing %q", path, part)
+		}
+	}
+
+	// Skip pruning: refusing to traverse Run must hide Tick.
+	pruned := g.Reachable([]*types.Func{mainFn}, func(fn *types.Func) bool { return fn == run })
+	if pruned.Has(tick) {
+		t.Fatal("skip(Run) must prune Tick")
+	}
+	if pruned.Path(tick) != nil {
+		t.Fatal("pruned function must have no witness path")
+	}
+}
+
+func TestFactsStore(t *testing.T) {
+	mod := loadDemo(t)
+	facts := NewFacts()
+	tick := mod.FindFunc("demo/app", "Clock", "Tick")
+	run := mod.FindFunc("demo/base", "", "Run")
+
+	if facts.Has(tick, "mark") {
+		t.Fatal("empty store has facts")
+	}
+	facts.Export(tick, "mark", "v1")
+	facts.Export(run, "mark", "v2")
+	facts.Export(nil, "mark", "dropped") // nil objects are ignored
+	if v, ok := facts.Import(tick, "mark"); !ok || v != "v1" {
+		t.Fatalf("Import = %v, %v", v, ok)
+	}
+	facts.Export(tick, "mark", "v1b") // overwrite
+	if v, _ := facts.Import(tick, "mark"); v != "v1b" {
+		t.Fatalf("overwrite failed: %v", v)
+	}
+	objs := facts.Objects("mark")
+	if len(objs) != 2 {
+		t.Fatalf("Objects = %d, want 2", len(objs))
+	}
+	if objs[0].Pos() > objs[1].Pos() {
+		t.Fatal("Objects not ordered by position")
+	}
+}
+
+func TestUnusedIgnoreAudit(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": demoGoMod,
+		"p/p.go": `package p
+
+func F() int { return 1 } //aqualint:ignore testrule
+func G() int { return 2 } //aqualint:ignore testrule
+func H() int { return 3 } //aqualint:ignore otherrule
+func I() int { return 4 } //aqualint:ignore
+`,
+	})
+	mod, errs := LoadModule(root, []string{"./p"})
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+
+	// testrule fires only on F's line: that ignore is used, G's is stale.
+	an := &Analyzer{
+		Name: "testrule",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if pass.Fset.Position(d.Pos()).Line == 3 {
+						pass.Reportf(d.Pos(), "finding on F")
+					}
+				}
+			}
+		},
+	}
+	diags := RunAnalyzers(mod.Requested[0], []*Analyzer{an})
+	if len(diags) != 0 {
+		t.Fatalf("ignored diagnostic leaked: %v", diags)
+	}
+
+	enabled := map[string]bool{"testrule": true}
+	audit := UnusedIgnores(mod.Requested, enabled, false)
+	if len(audit) != 1 {
+		t.Fatalf("partial-suite audit = %v, want only G's stale testrule ignore", audit)
+	}
+	if audit[0].Pos.Line != 4 || !strings.Contains(audit[0].Message, "testrule") {
+		t.Fatalf("wrong stale entry: %v", audit[0])
+	}
+
+	// With the full suite running, the disabled-analyzer shield drops and
+	// blanket ignores are audited too.
+	enabled["otherrule"] = true
+	full := UnusedIgnores(mod.Requested, enabled, true)
+	if len(full) != 3 {
+		t.Fatalf("full-suite audit = %v, want stale testrule + otherrule + blanket", full)
+	}
+}
+
+func TestModulePassRespectsIgnores(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": demoGoMod,
+		"p/p.go": `package p
+
+func F() int { return 1 } //aqualint:ignore modrule
+func G() int { return 2 }
+`,
+	})
+	mod, errs := LoadModule(root, []string{"./p"})
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	an := &Analyzer{
+		Name: "modrule",
+		RunModule: func(pass *ModulePass) {
+			for _, fn := range pass.Graph.Functions() {
+				pass.Reportf(fn.Pos(), "flag every function")
+			}
+		},
+	}
+	diags := RunModuleAnalyzers(mod, []*Analyzer{an})
+	if len(diags) != 1 {
+		t.Fatalf("want only G flagged (F's line is ignored), got %v", diags)
+	}
+	if diags[0].Pos.Line != 4 {
+		t.Fatalf("wrong line: %v", diags[0])
+	}
+}
+
+func TestSortDiagnosticsOrder(t *testing.T) {
+	mk := func(file string, line, col int, an string) Diagnostic {
+		return Diagnostic{Analyzer: an, Pos: token.Position{Filename: file, Line: line, Column: col}}
+	}
+	diags := []Diagnostic{
+		mk("b.go", 1, 1, "z"),
+		mk("a.go", 2, 1, "z"),
+		mk("a.go", 2, 1, "a"),
+		mk("a.go", 1, 9, "z"),
+	}
+	sortDiagnostics(diags)
+	want := []Diagnostic{
+		mk("a.go", 1, 9, "z"),
+		mk("a.go", 2, 1, "a"),
+		mk("a.go", 2, 1, "z"),
+		mk("b.go", 1, 1, "z"),
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, diags[i], want[i])
+		}
+	}
+}

@@ -46,6 +46,12 @@ func (r *Runner) CellKey(name string, scheme Scheme, trh int64) (string, error) 
 
 // cellKeyAt is CellKey under an explicit schema version (tests derive
 // old-generation keys with it to prove a bump invalidates).
+//
+// The aquakey:hash annotation is the keycoverage analyzer's contract:
+// every field of ExpConfig and workload.Spec must be hashed below or
+// carry an //aquakey:exclude on its declaration.
+//
+//aquakey:hash ExpConfig workload.Spec
 func (r *Runner) cellKeyAt(version, name string, scheme Scheme, trh int64) (string, error) {
 	specs, err := caseSpecs(name)
 	if err != nil {

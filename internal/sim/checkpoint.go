@@ -47,14 +47,14 @@ type cellKey struct {
 // store, so callers need no "is checkpointing on?" branches.
 type checkpoint struct {
 	mu    sync.Mutex
-	f     *os.File
-	ipc   map[string]float64
-	base  map[string]Result
-	cells map[cellKey]WorkloadRun
-	hits  int64
+	f     *os.File                // guarded by mu
+	ipc   map[string]float64      // guarded by mu
+	base  map[string]Result       // guarded by mu
+	cells map[cellKey]WorkloadRun // guarded by mu
+	hits  int64                   // guarded by mu
 	// err records the first append failure; the run continues (losing only
 	// resumability) and the error is reported at the end.
-	err error
+	err error // guarded by mu
 }
 
 // ckptSignature derives the header string binding a checkpoint file to an
@@ -104,7 +104,8 @@ func openCheckpoint(path, sig string) (*checkpoint, error) {
 }
 
 // load replays the file, returning the byte offset just past the last
-// complete, well-formed record.
+// complete, well-formed record. Runs only on an unshared checkpoint:
+// caller holds mu (or owns the value outright, as openCheckpoint does).
 func (c *checkpoint) load(sig string) (valid int64, err error) {
 	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
@@ -153,8 +154,8 @@ func (c *checkpoint) load(sig string) (valid int64, err error) {
 }
 
 // append marshals one record, writes it as a line, and syncs so a crash
-// after this cell completes cannot lose it. Callers serialize appends
-// (store* methods hold c.mu; openCheckpoint runs before sharing).
+// after this cell completes cannot lose it. Appends are serialized:
+// caller holds mu (openCheckpoint runs before the value is shared).
 func (c *checkpoint) append(rec ckptRecord) error {
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -167,8 +168,9 @@ func (c *checkpoint) append(rec ckptRecord) error {
 	return c.f.Sync()
 }
 
-// record appends under the lock, remembering the first failure. Losing a
-// record only costs resumability, never correctness, so the run goes on.
+// record appends, remembering the first failure — caller holds mu.
+// Losing a record only costs resumability, never correctness, so the run
+// goes on.
 func (c *checkpoint) record(rec ckptRecord) {
 	if err := c.append(rec); err != nil && c.err == nil {
 		c.err = err

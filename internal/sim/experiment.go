@@ -37,6 +37,7 @@ type ExpConfig struct {
 	// and results are collected by cell index, so the value changes
 	// wall-clock only — never the numbers (see DESIGN.md "Concurrency
 	// model").
+	//aquakey:exclude concurrency width changes wall-clock only; results are collected by index
 	Parallel int
 	// Geometry/Timing override the baseline system.
 	Geometry dram.Geometry
@@ -45,11 +46,13 @@ type ExpConfig struct {
 	// for the grammar). Nil means no faults anywhere. Cell-level kinds
 	// ("panic", "transient") fire before the simulation is built; hardware
 	// kinds are threaded through the system layers.
+	//aquakey:exclude a cell matched by a fault rule bypasses the cache entirely (see RunCtx); unmatched cells are bit-identical to fault-free runs
 	Faults *fault.Rules
 	// Retries bounds re-attempts for transiently failing cells (default 2
 	// re-attempts after the first try; negative disables retry). Transient
 	// fault arms are dropped on retry attempts, so an injected transient
 	// failure clears exactly the way a real one would.
+	//aquakey:exclude retry count changes recovery behaviour only; a cell that succeeds yields the same bytes on any attempt
 	Retries int
 }
 
@@ -139,26 +142,26 @@ type Runner struct {
 	// processes and written back to it. Nil means no cache.
 	cells *cellcache.Store
 
-	mu sync.Mutex // guards ipcCache, baseCache, genCache, cellMemo and cellStats
+	mu sync.Mutex
 	// calibrated per-workload IPC from the baseline pass.
-	ipcCache map[string]float64
+	ipcCache map[string]float64 // guarded by mu
 	// measured baseline results, keyed by workload (the baseline run
 	// depends only on the workload and its calibrated IPC, not on the
 	// scheme or threshold being compared against).
-	baseCache map[string]Result
+	baseCache map[string]Result // guarded by mu
 	// genCache shares workload generators across grid cells. A generator
 	// is a pure function of (spec, core, nominal IPC) under the Runner's
 	// fixed region/seed/params and is immutable once built, so every cell
 	// of a workload can draw fresh streams from one shared instance
 	// instead of re-deriving the hot-row placement and background set.
-	genCache map[genKey]*workload.Generator
+	genCache map[genKey]*workload.Generator // guarded by mu
 	// cellMemo memoizes clean completed cells for the life of the Runner,
 	// so identical grid cells (the same baseline repeated at every sweep
 	// point) simulate at most once even with no cache attached and even
 	// when requested sequentially.
-	cellMemo map[cellKey]WorkloadRun
+	cellMemo map[cellKey]WorkloadRun // guarded by mu
 	// cellStats counts how cacheable cell requests were satisfied.
-	cellStats CellStats
+	cellStats CellStats // guarded by mu
 
 	ipcFlight  flight.Group[string, float64]
 	baseFlight flight.Group[string, Result]
@@ -584,6 +587,8 @@ func (r *Runner) Run(name string, scheme Scheme, trh int64) (WorkloadRun, error)
 // so injected behaviour is observed, and their results never enter the
 // memo or the store. Failed (including cancelled) cells are never stored
 // anywhere — only clean, complete results persist.
+//
+//detertaint:root
 func (r *Runner) RunCtx(ctx context.Context, name string, scheme Scheme, trh int64) (WorkloadRun, error) {
 	if run, ok := r.ckpt.lookupCell(name, scheme, trh); ok {
 		return run, nil
@@ -703,6 +708,8 @@ func (r *Runner) RunGrid(names []string, cells []GridCell) ([]GridResult, error)
 // when any cells failed, the error is a *GridError listing them in grid
 // order. When the context is cancelled the grid stops promptly and the
 // context's error is returned with whatever completed so far.
+//
+//detertaint:root
 func (r *Runner) RunGridCtx(ctx context.Context, names []string, cells []GridCell) ([]GridResult, error) {
 	out := make([]GridResult, len(names))
 	for i, name := range names {
