@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke fault-smoke cache-smoke
+.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke bench-full fault-smoke cache-smoke
 
 all: build lint test
 
@@ -42,8 +42,10 @@ bench-quick:
 	REPRO_BENCH_WINDOW_MS=4 REPRO_BENCH_WORKLOADS=spec $(GO) test -run='^$$' -bench=. -benchtime=1x -timeout 0 .
 
 # Record headline metrics (slowdowns, migrations/64ms, grid wall-clock at
-# -j 1 vs -j 4) to BENCH_<date>.json. Defaults to the quick configuration;
-# unset the REPRO_BENCH_* overrides for a full-window record.
+# -j 1 vs -j 4, full-cell wall-clock) to BENCH_<date>.json. Defaults to
+# the quick configuration; unset the REPRO_BENCH_* overrides for a
+# full-window record. On a 1-core host the speedup is recorded as null
+# (the serial/parallel ratio is scheduler noise there) with a warning.
 bench-json:
 	REPRO_BENCH_WINDOW_MS=$${REPRO_BENCH_WINDOW_MS:-4} \
 	REPRO_BENCH_WORKLOADS=$${REPRO_BENCH_WORKLOADS:-spec} \
@@ -55,6 +57,12 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/perf
 	$(GO) test -run='ZeroAlloc' ./internal/perf ./internal/dram
+
+# Full-cell wall-clock budget: one complete 64ms refresh-window cell (the
+# unit every figure grid decomposes into) must finish inside the budget
+# (default 1000ms; REPRO_BENCH_FULL_BUDGET_MS to adjust per host).
+bench-full:
+	REPRO_BENCH_FULL=1 $(GO) test -run='^TestFullWindowCellBudget$$' -count=1 -v -timeout 600s .
 
 # Result-cache smoke (see DESIGN.md "Result cache & incremental
 # recomputation"): the bench-quick grid configuration runs twice against

@@ -153,6 +153,35 @@ func (c *Core) NextIssueTime() (dram.PS, bool) {
 	return issue, true
 }
 
+// IssueRun issues a batch of consecutive requests on this core: the first
+// at time `at` (which must be the core's current next-issue time),
+// then repeatedly while the core's following issue time stays strictly
+// below `limit` — the foreign-event horizon the run loop computes from
+// its calendar. At most `max` requests are issued.
+//
+// It returns the number issued, the core's next issue time, and whether
+// the core still has requests (more=false means the stream is exhausted).
+// Batching is sound because NextIssueTime reads only core-local state, so
+// a run of same-core issues below the horizon cannot change — or be
+// changed by — any other pending event; an issue time exactly AT the
+// horizon ends the batch and is re-ordered against the foreign event by
+// the calendar's (time, class, index) contract. See DESIGN.md
+// "Event-driven core & time-skip invariants".
+func (c *Core) IssueRun(at, limit dram.PS, max int, submit func(row dram.Row, write bool, at dram.PS) dram.PS) (n int, next dram.PS, more bool) {
+	for {
+		c.Issue(at, submit)
+		n++
+		nt, ok := c.NextIssueTime()
+		if !ok {
+			return n, 0, false
+		}
+		if n >= max || nt >= limit {
+			return n, nt, true
+		}
+		at = nt
+	}
+}
+
 // Issue submits the queued request through submit (typically
 // memctrl.Controller.Submit) at time `at` and updates core state with the
 // completion time.

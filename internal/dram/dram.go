@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/event"
 	"repro/internal/fault"
 	"repro/internal/invariant"
 )
@@ -237,12 +238,20 @@ func (g Geometry) NeighborPair(r Row, distance int) (pair [2]Row, n int) {
 type ActListener func(row Row, at PS)
 
 // bank holds the open-page state machine for one bank.
+//
+// Refresh state is lazy: RefreshAll bumps the rank's refresh generation
+// and ACT floor instead of touching every bank, so a bank's effective
+// state is read through bankOpen/bankReadyACT — an open row is only open
+// if its generation matches the rank's, and the ACT window is the stored
+// value raised to the floor. Idle banks therefore cost nothing at
+// refresh time (and nothing later: their state is never materialized).
 type bank struct {
 	openRow  Row
 	hasOpen  bool
-	readyACT PS // earliest next activation (tRC from previous ACT)
-	readyCol PS // earliest next column command in this bank
-	readyPRE PS // earliest precharge (covers tRAS/tWR approximations)
+	gen      uint64 // refresh generation openRow/hasOpen belong to
+	readyACT PS     // earliest next activation (tRC from previous ACT)
+	readyCol PS     // earliest next column command in this bank
+	readyPRE PS     // earliest precharge (covers tRAS/tWR approximations)
 }
 
 // Rank models all banks of one rank plus the shared data bus. It is not
@@ -253,6 +262,12 @@ type Rank struct {
 
 	banks   []bank
 	busFree PS // data bus availability
+	// refGen and actFloor carry refresh effects lazily (see bank): refGen
+	// invalidates every open row, actFloor raises every bank's ACT window
+	// to the refresh end. Reserve still writes banks eagerly — migrations
+	// are thousands of times rarer than refresh commands.
+	refGen   uint64
+	actFloor PS
 	// actHist holds the last four rank-level ACT times (tFAW enforcement).
 	actHist [4]PS
 	actIdx  int
@@ -453,6 +468,14 @@ func (r *Rank) ActCount(row Row) uint64 {
 	return r.actCounts[row]
 }
 
+// bankOpen reports whether b's row buffer is effectively open: the stored
+// flag is only meaningful if no refresh has closed it since (lazy close).
+func (r *Rank) bankOpen(b *bank) bool { return b.hasOpen && b.gen == r.refGen }
+
+// bankReadyACT returns b's effective ACT window end: the stored per-bank
+// value raised to the rank-wide refresh floor.
+func (r *Rank) bankReadyACT(b *bank) PS { return maxPS(b.readyACT, r.actFloor) }
+
 // fawReady returns the earliest time a new ACT may issue under the
 // four-activate-window constraint given a candidate time.
 func (r *Rank) fawReady(at PS) PS {
@@ -472,6 +495,7 @@ func (r *Rank) activate(b *bank, row Row, at PS) {
 	r.actIdx = (r.actIdx + 1) % len(r.actHist)
 	b.openRow = row
 	b.hasOpen = true
+	b.gen = r.refGen
 	b.readyACT = at + r.timing.TRC
 	b.readyCol = at + r.timing.TRCD
 	b.readyPRE = at + r.timing.TRCD // simplified tRAS floor
@@ -502,7 +526,7 @@ func (r *Rank) Access(row Row, write bool, earliest PS) (done PS, activated bool
 	t := &r.timing
 
 	at := earliest
-	if b.hasOpen && b.openRow == row {
+	if r.bankOpen(b) && b.openRow == row {
 		// Row-buffer hit: column access only.
 		r.stats.RowHits++
 		col := maxPS(at, b.readyCol)
@@ -518,14 +542,14 @@ func (r *Rank) Access(row Row, write bool, earliest PS) (done PS, activated bool
 		// Row-buffer miss (or closed row): PRE if needed, then ACT, then column.
 		r.stats.RowMisses++
 		start := at
-		if b.hasOpen {
+		if r.bankOpen(b) {
 			pre := maxPS(start, b.readyPRE)
 			if r.chk != nil {
 				r.notePRE(bankIdx, pre)
 			}
 			start = pre + t.TRP
 		}
-		act := r.fawReady(maxPS(start, b.readyACT))
+		act := r.fawReady(maxPS(start, r.bankReadyACT(b)))
 		r.activate(b, row, act)
 		activated = true
 		data := maxPS(act+t.TRCD+t.TCL, r.busFree)
@@ -562,14 +586,14 @@ func (r *Rank) StreamRow(row Row, write bool, earliest PS) (done PS) {
 	b := &r.banks[bankIdx]
 	t := &r.timing
 	start := earliest
-	if b.hasOpen {
+	if r.bankOpen(b) {
 		pre := maxPS(start, b.readyPRE)
 		if r.chk != nil {
 			r.notePRE(bankIdx, pre)
 		}
 		start = pre + t.TRP
 	}
-	act := maxPS(start, b.readyACT)
+	act := maxPS(start, r.bankReadyACT(b))
 	act = maxPS(act, r.busFree) // streaming saturates the bus; serialize
 	act = r.fawReady(act)
 	r.activate(b, row, act)
@@ -601,13 +625,13 @@ func (r *Rank) StreamRow(row Row, write bool, earliest PS) (done PS) {
 // the victim-refresh mitigation's job, not the periodic refresh's).
 func (r *Rank) RefreshAll(at PS) (done PS) {
 	done = at + r.timing.TRFC
-	for i := range r.banks {
-		b := &r.banks[i]
-		b.openRow = InvalidRow
-		b.hasOpen = false
-		if b.readyACT < done {
-			b.readyACT = done
-		}
+	// Lazy per-bank effects: bumping the generation closes every open row
+	// and raising the floor blocks every ACT window, in O(1) instead of
+	// O(banks). Banks observe both through bankOpen/bankReadyACT on their
+	// next use; idle banks never pay for the refresh at all.
+	r.refGen++
+	if r.actFloor < done {
+		r.actFloor = done
 	}
 	if r.busFree < done {
 		r.busFree = done
@@ -648,24 +672,66 @@ func (r *Rank) ReservedUntil() PS { return r.reservedUntil }
 
 // OpenRow returns the currently open row in a bank, if any.
 func (r *Rank) OpenRow(bankIdx int) (Row, bool) {
-	b := r.banks[bankIdx]
-	return b.openRow, b.hasOpen
+	b := &r.banks[bankIdx]
+	if !r.bankOpen(b) {
+		return InvalidRow, false
+	}
+	return b.openRow, true
 }
 
 // PrechargeAll closes all open rows (e.g. at epoch boundaries in tests).
 func (r *Rank) PrechargeAll(at PS) {
 	for i := range r.banks {
 		b := &r.banks[i]
-		if b.hasOpen {
+		if r.bankOpen(b) {
 			pre := maxPS(at, b.readyPRE)
 			r.notePRE(i, pre)
 			b.openRow = InvalidRow
 			b.hasOpen = false
-			if b.readyACT < pre+r.timing.TRP {
-				b.readyACT = pre + r.timing.TRP
-			}
+			b.readyACT = maxPS(r.bankReadyACT(b), pre+r.timing.TRP)
 		}
 	}
+}
+
+// BankReadyAt returns the earliest time the given bank may issue its next
+// activation: the end of its tRC window, raised by any refresh (tRFC) or
+// reservation still blocking it.
+func (r *Rank) BankReadyAt(bankIdx int) PS {
+	return r.bankReadyACT(&r.banks[bankIdx])
+}
+
+// NextExpiry returns the earliest strictly-future time (> now) at which a
+// bank's activation window expires, or ok=false when every bank can
+// already activate at `now`. It is a pull API: the run loop stays
+// issue-driven (a blocked bank delays the access that touches it, so
+// nothing needs to wake up when the window ends), but schedulers that do
+// want wake-ups — FR-FCFS-style reordering experiments, diagnostics —
+// read the horizon here or subscribe via PublishExpiries.
+func (r *Rank) NextExpiry(now PS) (PS, bool) {
+	var best PS
+	ok := false
+	for i := range r.banks {
+		ready := r.bankReadyACT(&r.banks[i])
+		if ready > now && (!ok || ready < best) {
+			best, ok = ready, true
+		}
+	}
+	return best, ok
+}
+
+// PublishExpiries pushes one ClassBankExpiry event per still-blocked bank
+// (activation window ending after `now`) into the calendar, indexed by
+// bank, and returns how many were published. Idle banks — the steady
+// state outside refresh windows — publish nothing.
+func (r *Rank) PublishExpiries(cal *event.Calendar, now PS) int {
+	n := 0
+	for i := range r.banks {
+		if ready := r.bankReadyACT(&r.banks[i]); ready > now {
+			cal.Push(event.Event{Time: ready, Class: event.ClassBankExpiry, Index: int32(i)})
+			n++
+		}
+	}
+	return n
 }
 
 func maxPS(a, b PS) PS {

@@ -1,0 +1,143 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/event"
+	"repro/internal/mitigation"
+)
+
+// TestCalendarLanesFollowAdvance re-expresses the PR-3 due-order
+// regression through the event calendar: walking the schedule one Peek +
+// Advance step at a time must surface refresh@7.8us, epoch@10us,
+// refresh@15.6us, epoch@20us in exactly that order, with the epoch probe
+// observing one refresh at 10us and two at 20us — the property the old
+// refreshes-before-epochs switch violated.
+func TestCalendarLanesFollowAdvance(t *testing.T) {
+	rank := dram.NewRank(testGeom(), dram.DDR4())
+	probe := &epochProbe{rank: rank}
+	c := New(rank, probe, Config{EpochLength: 10 * dram.Microsecond})
+	var cal event.Calendar
+	c.AttachCalendar(&cal)
+
+	trefi := dram.DDR4().TREFI
+	want := []event.Event{
+		{Time: trefi, Class: event.ClassRefresh},
+		{Time: 10 * dram.Microsecond, Class: event.ClassEpoch},
+		{Time: 2 * trefi, Class: event.ClassRefresh},
+		{Time: 20 * dram.Microsecond, Class: event.ClassEpoch},
+	}
+	for i, w := range want {
+		e, ok := cal.Peek()
+		if !ok {
+			t.Fatalf("step %d: calendar empty, want %v", i, w)
+		}
+		if e != w {
+			t.Fatalf("step %d: next event = %v@%d, want %v@%d", i, e.Class, e.Time, w.Class, w.Time)
+		}
+		// Advancing exactly to the event's due time services it and re-arms
+		// the lane at its successor occurrence.
+		c.Advance(e.Time)
+		if ne := c.NextEvent(); ne <= e.Time {
+			t.Fatalf("step %d: NextEvent = %d, not past %d", i, ne, e.Time)
+		}
+	}
+	if len(probe.refreshes) != 2 || probe.refreshes[0] != 1 || probe.refreshes[1] != 2 {
+		t.Fatalf("epoch probe saw refreshes %v, want [1 2]", probe.refreshes)
+	}
+}
+
+// collisionProbe is both an epoch observer and a Drainer, recording the
+// rank refresh count at each epoch and the epoch count at each drain.
+type collisionProbe struct {
+	mitigation.None
+	rank          *dram.Rank
+	refreshesSeen []int64 // at each OnEpoch
+	epochsSeen    []int   // at each OnIdle
+	epochs        int
+}
+
+func (p *collisionProbe) OnEpoch(dram.PS) {
+	p.refreshesSeen = append(p.refreshesSeen, p.rank.Stats().Refreshes)
+	p.epochs++
+}
+
+func (p *collisionProbe) OnIdle(now dram.PS) dram.PS {
+	p.epochsSeen = append(p.epochsSeen, p.epochs)
+	return 0
+}
+
+// TestCalendarEqualTimeCollision pins the documented class order when
+// refresh, epoch, and drain all fall due at the same picosecond: the
+// calendar reports the refresh lane first, and Advance services
+// refresh -> epoch -> drain — the epoch sees the refresh already counted,
+// the drain sees the epoch already rolled over.
+func TestCalendarEqualTimeCollision(t *testing.T) {
+	trefi := dram.DDR4().TREFI
+	rank := dram.NewRank(testGeom(), dram.DDR4())
+	probe := &collisionProbe{rank: rank}
+	c := New(rank, probe, Config{
+		EpochLength:       trefi,
+		IdleDrainInterval: trefi,
+	})
+	var cal event.Calendar
+	c.AttachCalendar(&cal)
+
+	// All three lanes armed at the same instant; the calendar's total
+	// order must hand out the refresh first.
+	for _, cl := range []event.Class{event.ClassRefresh, event.ClassEpoch, event.ClassDrain} {
+		if at, ok := cal.Lane(cl); !ok || at != trefi {
+			t.Fatalf("%v lane = %d,%v, want %d,true", cl, at, ok, trefi)
+		}
+	}
+	if e, _ := cal.Peek(); e != (event.Event{Time: trefi, Class: event.ClassRefresh}) {
+		t.Fatalf("peek = %v@%d, want refresh@%d", e.Class, e.Time, trefi)
+	}
+	if ne := c.NextEvent(); ne != trefi {
+		t.Fatalf("NextEvent = %d, want %d", ne, trefi)
+	}
+
+	c.Advance(trefi)
+	if got := c.Stats().Refreshes; got != 1 {
+		t.Fatalf("refreshes = %d, want 1", got)
+	}
+	if got := c.Stats().Epochs; got != 1 {
+		t.Fatalf("epochs = %d, want 1", got)
+	}
+	if len(probe.refreshesSeen) != 1 || probe.refreshesSeen[0] != 1 {
+		t.Fatalf("epoch saw refreshes %v, want [1]: refresh must be serviced first", probe.refreshesSeen)
+	}
+	if len(probe.epochsSeen) != 1 || probe.epochsSeen[0] != 1 {
+		t.Fatalf("drain saw epochs %v, want [1]: epoch must precede drain", probe.epochsSeen)
+	}
+	// All three lanes re-armed strictly forward.
+	for _, cl := range []event.Class{event.ClassRefresh, event.ClassEpoch, event.ClassDrain} {
+		if at, ok := cal.Lane(cl); !ok || at <= trefi {
+			t.Fatalf("%v lane after collision = %d,%v, want > %d", cl, at, ok, trefi)
+		}
+	}
+}
+
+// TestCalendarDisabledLanesStayClear checks the negative space: with
+// refresh disabled and no drainer, only the epoch lane is armed.
+func TestCalendarDisabledLanesStayClear(t *testing.T) {
+	_, c := newCtrl(t, nil, Config{DisableRefresh: true, EpochLength: 5 * dram.Microsecond})
+	var cal event.Calendar
+	c.AttachCalendar(&cal)
+	if _, ok := cal.Lane(event.ClassRefresh); ok {
+		t.Fatal("refresh lane armed with DisableRefresh")
+	}
+	if _, ok := cal.Lane(event.ClassDrain); ok {
+		t.Fatal("drain lane armed without a drainer")
+	}
+	if at, ok := cal.Lane(event.ClassEpoch); !ok || at != 5*dram.Microsecond {
+		t.Fatalf("epoch lane = %d,%v, want 5us,true", at, ok)
+	}
+	// PublishEvents restores the lanes after an external calendar reset.
+	cal.Reset()
+	c.PublishEvents()
+	if at, ok := cal.Lane(event.ClassEpoch); !ok || at != 5*dram.Microsecond {
+		t.Fatalf("epoch lane after republish = %d,%v, want 5us,true", at, ok)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/event"
 	"repro/internal/fault"
 	"repro/internal/invariant"
 	"repro/internal/mitigation"
@@ -91,6 +92,10 @@ type Controller struct {
 	drainer Drainer
 	now     dram.PS
 	chk     *invariant.Checker
+	// cal, when non-nil, is the run loop's event calendar: the controller
+	// keeps its refresh/epoch/drain lanes armed at the same times bgNext
+	// summarizes, so the loop can bound time-skips without polling.
+	cal *event.Calendar
 
 	stats Stats
 }
@@ -124,7 +129,8 @@ func New(rank *dram.Rank, mit mitigation.Mitigator, cfg Config) *Controller {
 	return c
 }
 
-// updateBGNext recomputes the earliest pending background event.
+// updateBGNext recomputes the earliest pending background event and, when
+// a calendar is attached, re-arms its lanes to match.
 func (c *Controller) updateBGNext() {
 	n := c.nextEpoch
 	if !c.cfg.DisableRefresh && c.nextRefresh < n {
@@ -134,7 +140,49 @@ func (c *Controller) updateBGNext() {
 		n = c.nextDrain
 	}
 	c.bgNext = n
+	if c.cal != nil {
+		c.publishLanes()
+	}
 }
+
+// AttachCalendar registers the event calendar this controller publishes
+// its background events into. From then on every background-schedule
+// change (serviced refresh, epoch rollover, drain) re-arms the calendar's
+// refresh/epoch/drain lanes, so the run loop sees the controller's
+// horizon without polling Advance.
+func (c *Controller) AttachCalendar(cal *event.Calendar) {
+	c.cal = cal
+	c.publishLanes()
+}
+
+// PublishEvents re-arms the attached calendar's lanes from the current
+// background schedule (used after a calendar Reset). No-op when no
+// calendar is attached.
+func (c *Controller) PublishEvents() {
+	if c.cal != nil {
+		c.publishLanes()
+	}
+}
+
+func (c *Controller) publishLanes() {
+	if c.cfg.DisableRefresh {
+		c.cal.ClearLane(event.ClassRefresh)
+	} else {
+		c.cal.SetLane(event.ClassRefresh, c.nextRefresh)
+	}
+	c.cal.SetLane(event.ClassEpoch, c.nextEpoch)
+	if c.drainer != nil {
+		c.cal.SetLane(event.ClassDrain, c.nextDrain)
+	} else {
+		c.cal.ClearLane(event.ClassDrain)
+	}
+}
+
+// NextEvent returns the due time of the earliest pending background event
+// (refresh, epoch, or drain) — the controller's contribution to the
+// system event horizon. Submissions strictly before it cannot trigger
+// background work.
+func (c *Controller) NextEvent() dram.PS { return c.bgNext }
 
 // Rank returns the attached rank.
 func (c *Controller) Rank() *dram.Rank { return c.rank }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/event"
 	"repro/internal/memctrl"
 	"repro/internal/sim"
 	"repro/internal/tracker"
@@ -164,6 +165,30 @@ func benchIssueLoop(b *testing.B, cores int) {
 	b.ResetTimer()
 	if got := sys.IssueN(b.N); got != b.N {
 		b.Fatalf("issued %d of %d requests", got, b.N)
+	}
+}
+
+// BenchEventPop measures the calendar primitive the run loop leans on:
+// one pop + re-push cycle against a 16-entry indexed heap with two armed
+// far-future lanes — the shape of a 16-core system between background
+// events. This is the `event_pop` micro in BENCH_<date>.json; its alloc
+// count must stay at zero.
+func BenchEventPop(b *testing.B) {
+	var c event.Calendar
+	const entries = 16
+	for i := int32(0); i < entries; i++ {
+		c.Push(event.Event{Time: event.PS(1000 + i), Class: event.ClassCoreIssue, Index: i})
+	}
+	c.SetLane(event.ClassRefresh, 1<<40)
+	c.SetLane(event.ClassEpoch, 1<<41)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, ok := c.MinIndexed()
+		if !ok {
+			b.Fatal("heap drained")
+		}
+		c.ReplaceIndexedMin(e.Time + 7919)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/event"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -14,6 +15,7 @@ func BenchmarkSubmit(b *testing.B)          { BenchSubmit(b) }
 func BenchmarkSubmitBatch(b *testing.B)     { BenchSubmitBatch(b) }
 func BenchmarkTrackerACT(b *testing.B)      { BenchTrackerACT(b) }
 func BenchmarkGeneratorStream(b *testing.B) { BenchGeneratorStream(b) }
+func BenchmarkEventPop(b *testing.B)        { BenchEventPop(b) }
 func BenchmarkIssueLoop4(b *testing.B)      { BenchIssueLoop4(b) }
 func BenchmarkIssueLoop8(b *testing.B)      { BenchIssueLoop8(b) }
 func BenchmarkIssueLoop16(b *testing.B)     { BenchIssueLoop16(b) }
@@ -67,6 +69,34 @@ func TestIssueLoopZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(5000, func() { sys.IssueN(1) }); avg != 0 {
 		t.Fatalf("issue loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestEventCalendarZeroAlloc holds the budget for the calendar itself:
+// once the heap's backing slice exists, the run loop's primitives
+// (MinIndexed/ReplaceIndexedMin/Horizon, lane re-arms, and a Reset +
+// refill cycle) must not allocate.
+func TestEventCalendarZeroAlloc(t *testing.T) {
+	var c event.Calendar
+	fill := func() {
+		c.Reset()
+		for i := int32(0); i < 16; i++ {
+			c.Push(event.Event{Time: event.PS(100 + i), Class: event.ClassCoreIssue, Index: i})
+		}
+		c.SetLane(event.ClassRefresh, 1<<40)
+		c.SetLane(event.ClassEpoch, 1<<41)
+	}
+	fill()
+	if avg := testing.AllocsPerRun(5000, func() {
+		e, _ := c.MinIndexed()
+		c.ReplaceIndexedMin(e.Time + 7919)
+		c.Horizon()
+		c.SetLane(event.ClassRefresh, e.Time+1<<40)
+	}); avg != 0 {
+		t.Fatalf("calendar hot loop allocates %.2f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(500, fill); avg != 0 {
+		t.Fatalf("calendar Reset+refill allocates %.2f allocs/op, want 0", avg)
 	}
 }
 

@@ -10,10 +10,13 @@ import (
 	"context"
 	"fmt"
 
+	"math"
+
 	"repro/internal/blockhammer"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/event"
 	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/invariant"
@@ -165,10 +168,14 @@ type System struct {
 	// and layout queries).
 	Aqua *core.Engine
 
-	// issueQ is the per-core next-issue min-heap the run loop selects
-	// from (see heap.go). Reused across runs so the steady-state request
-	// path stays allocation-free.
-	issueQ issueHeap
+	// cal is the system's event calendar: core next-issue events live in
+	// its indexed heap, and the controller keeps its refresh/epoch/drain
+	// lanes armed (see internal/event). Owned by the run loop; reused
+	// across runs so the steady-state request path stays allocation-free.
+	// Deliberately not `// guarded by` anything: a System is confined to
+	// one grid worker (checkpointing and the result cache exchange Result
+	// values, never live Systems), so the calendar is never shared.
+	cal event.Calendar
 }
 
 // VisibleRegion returns the software-visible address region for a
@@ -252,6 +259,7 @@ func NewSystem(cfg Config, streams []cpu.Stream) *System {
 		ctrlCfg.IdleDrainInterval = 10 * dram.Microsecond
 	}
 	s.Ctrl = memctrl.New(rank, s.Mit, ctrlCfg)
+	s.Ctrl.AttachCalendar(&s.cal)
 	s.Cores = make([]*cpu.Core, cfg.Cores)
 	for i := range s.Cores {
 		s.Cores[i] = cpu.New(i, streams[i], cfg.CoreCfg)
@@ -328,33 +336,75 @@ func (s *System) Run(until dram.PS) Result {
 // ctx.Err() never shows up in profiles.
 const ctxCheckInterval = 4096
 
+// resetEvents rebuilds the calendar for a fresh run: the controller
+// re-arms its background lanes and every unfinished core contributes its
+// next-issue event. The heap's backing slice survives Reset, so repeat
+// runs allocate nothing.
+func (s *System) resetEvents() {
+	s.cal.Reset()
+	s.Ctrl.PublishEvents()
+	for i, c := range s.Cores {
+		if t, ok := c.NextIssueTime(); ok {
+			s.cal.Push(event.Event{Time: t, Class: event.ClassCoreIssue, Index: int32(i)})
+		}
+	}
+}
+
+// issueHorizon returns the batching bound for the current heap root: the
+// time of the earliest foreign event. The root's core may issue freely
+// at times strictly below it; an issue time at or past it goes back
+// through the calendar, whose (time, class, index) order resolves the
+// tie exactly as the per-request loop would have.
+func (s *System) issueHorizon() dram.PS {
+	if hz, ok := s.cal.Horizon(); ok {
+		return hz.Time
+	}
+	return math.MaxInt64
+}
+
 // RunCtx is Run with cancellation: the issue loop polls ctx every
 // ctxCheckInterval requests and abandons the simulation with ctx.Err()
 // when it has been cancelled. The partial simulation state is discarded —
 // a cancelled cell has no result.
 //
-// Core selection runs on an index min-heap over per-core next-issue
-// times — O(log cores) per request instead of the previous O(cores)
-// linear scan — ordered (time, core index) so the issued sequence is
-// bit-identical to the scan's (earliest time, lowest index on ties).
+// The loop is event-driven: the calendar's indexed heap orders per-core
+// next-issue events by (time, core index) — bit-identical to the old
+// linear scan's "earliest time, lowest index on ties" — and the fast path
+// batches a run of same-core issues that provably stay ahead of the next
+// foreign event (Horizon), so quiet spans between refreshes cost one
+// bound computation instead of a heap fix-up per request. Background
+// events are never popped here: they are serviced, in due order, inside
+// Submit -> Advance at their due timestamps, exactly as before; the lanes
+// only bound the batch. See DESIGN.md "Event-driven core & time-skip
+// invariants".
+//
+//detertaint:root
 func (s *System) RunCtx(ctx context.Context, until dram.PS) (Result, error) {
-	s.issueQ.reset(s.Cores)
+	s.resetEvents()
 	issued := 0
-	for s.issueQ.len() > 0 {
-		ev := s.issueQ.min()
-		if until > 0 && ev.t > until {
+	for {
+		root, ok := s.cal.MinIndexed()
+		if !ok {
 			break
 		}
-		c := s.Cores[ev.idx]
-		c.Issue(ev.t, s.Ctrl.Submit)
-		// Only the issuing core's entry can have changed: NextIssueTime
-		// reads core-local state alone (see heap.go).
-		if t, ok := c.NextIssueTime(); ok {
-			s.issueQ.fixMin(t)
-		} else {
-			s.issueQ.popMin()
+		if until > 0 && root.Time > until {
+			break
 		}
-		if issued++; issued%ctxCheckInterval == 0 {
+		limit := s.issueHorizon()
+		if until > 0 && until+1 < limit {
+			// The run bound caps the batch too: issues AT until are still
+			// in-window, the first one past it ends the run.
+			limit = until + 1
+		}
+		n, next, more := s.Cores[root.Index].IssueRun(root.Time, limit,
+			ctxCheckInterval-issued%ctxCheckInterval, s.Ctrl.Submit)
+		issued += n
+		if more {
+			s.cal.ReplaceIndexedMin(next)
+		} else {
+			s.cal.DropIndexedMin()
+		}
+		if issued%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
@@ -368,18 +418,21 @@ func (s *System) RunCtx(ctx context.Context, until dram.PS) (Result, error) {
 // perf-harness hook for benchmarking the selection path at arbitrary
 // core counts; figure runs use RunCtx.
 func (s *System) IssueN(n int) int {
-	s.issueQ.reset(s.Cores)
+	s.resetEvents()
 	issued := 0
-	for issued < n && s.issueQ.len() > 0 {
-		ev := s.issueQ.min()
-		c := s.Cores[ev.idx]
-		c.Issue(ev.t, s.Ctrl.Submit)
-		if t, ok := c.NextIssueTime(); ok {
-			s.issueQ.fixMin(t)
-		} else {
-			s.issueQ.popMin()
+	for issued < n {
+		root, ok := s.cal.MinIndexed()
+		if !ok {
+			break
 		}
-		issued++
+		k, next, more := s.Cores[root.Index].IssueRun(root.Time, s.issueHorizon(),
+			n-issued, s.Ctrl.Submit)
+		issued += k
+		if more {
+			s.cal.ReplaceIndexedMin(next)
+		} else {
+			s.cal.DropIndexedMin()
+		}
 	}
 	return issued
 }

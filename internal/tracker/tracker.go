@@ -178,8 +178,9 @@ func (t *MisraGries) Threshold() int64 { return t.threshold }
 func (t *MisraGries) RecordACT(row dram.Row) bool {
 	b := &t.banks[t.geom.BankOf(row)]
 	if pos := t.pos[row]; pos >= 0 {
-		b.heap[pos].count++
-		newCount := b.heap[pos].count
+		e := &b.heap[pos]
+		e.count++
+		newCount := e.count
 		t.siftDown(b, int(pos))
 		return newCount%t.threshold == 0
 	}

@@ -20,7 +20,6 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cpu"
 	"repro/internal/dram"
@@ -185,6 +184,15 @@ type Generator struct {
 	cum        []float64 // cumulative weights over hot rows
 	pHot       float64   // probability a request hits the hot set
 	background []dram.Row
+
+	// pick/pickScale index the cumulative array for pickHot: bucket j of
+	// the total weight range holds the only indices whose cum span
+	// intersects it, so the inverse-CDF search degenerates to a one- or
+	// two-element scan. Stored as interleaved (lo, hi) int32 pairs so a
+	// draw touches one cache line, not two. Built once per generator; see
+	// buildPickIndex.
+	pick      []int32
+	pickScale float64
 }
 
 // NewGenerator builds a deterministic generator for one core's share of
@@ -238,6 +246,7 @@ func NewGenerator(spec Spec, region Region, coreIdx int, seed uint64, params Par
 		hotActs += h.weight
 		g.cum[i] = hotActs
 	}
+	g.buildPickIndex()
 	if reqsPerEpoch > 0 {
 		// h is the desired fraction of *requests* that hit the hot set.
 		// Background selections expand into bursts of mean length b, so
@@ -317,7 +326,7 @@ func (s *stream) Next() (cpu.Request, bool) {
 		s.burstLeft--
 		row = s.burstRow
 	case len(g.hot) > 0 && s.r.Float64() < g.pHot:
-		row = g.hot[pickWeighted(g.cum, s.r)].row
+		row = g.hot[g.pickHot(s.r)].row
 	default:
 		if len(g.background) > 0 {
 			row = g.background[int(s.zipf.Uint64())]
@@ -342,12 +351,79 @@ func (s *stream) Next() (cpu.Request, bool) {
 	}, true
 }
 
-// pickWeighted draws an index proportional to the weight deltas encoded in
-// the cumulative array.
-func pickWeighted(cum []float64, r *rng.Rand) int {
-	total := cum[len(cum)-1]
-	x := r.Float64() * total
-	return sort.SearchFloat64s(cum, x)
+// pickHot draws a hot-row index proportional to the weight deltas encoded
+// in the cumulative array. The draw consumes exactly one Float64 and
+// resolves to the smallest i with cum[i] >= x — sort.SearchFloat64s's
+// contract — so it is bit-identical to the binary search it replaces, but
+// runs in O(1) expected time via the bucket index (the inverse-CDF search
+// was the single hottest frame of a full-window cell, ~25% of wall-clock
+// at lbm's hot-set sizes).
+func (g *Generator) pickHot(r *rng.Rand) int {
+	return g.pickIndex(r.Float64() * g.cum[len(g.cum)-1])
+}
+
+// pickIndex returns the smallest i with g.cum[i] >= x. The answer index a
+// satisfies cum[a-1] < x <= cum[a] (with cum[-1] taken as 0), and bucketOf
+// is monotone and identical on the build and lookup sides, so a was
+// registered in bucket bucketOf(x) during buildPickIndex and the scan over
+// its (lo, hi) pair — typically a single element — finds it.
+func (g *Generator) pickIndex(x float64) int {
+	j := 2 * int(x*g.pickScale)
+	if j >= len(g.pick) {
+		j = len(g.pick) - 2
+	}
+	cum := g.cum
+	i := int(g.pick[j])
+	hi := int(g.pick[j+1])
+	for i < hi && cum[i] < x {
+		i++
+	}
+	return i
+}
+
+// buildPickIndex precomputes the bucket index over g.cum: k (a power of
+// two >= 2*len(cum)) equal-width buckets over [0, total], where bucket j
+// records the min/max cumulative-array indices whose weight span
+// intersects it. Weights are bounded below (>= 166 activations/epoch), so
+// occupancy is O(1) and the expected lookup scan length is ~1. Built once
+// per generator — off the steady-state request path, which stays
+// allocation-free.
+func (g *Generator) buildPickIndex() {
+	n := len(g.cum)
+	if n == 0 {
+		return
+	}
+	total := g.cum[n-1]
+	if !(total > 0) {
+		return
+	}
+	k := 1
+	for k < 2*n {
+		k <<= 1
+	}
+	g.pickScale = float64(k) / total
+	g.pick = make([]int32, 2*k)
+	for j := 0; j < k; j++ {
+		g.pick[2*j] = int32(n)
+	}
+	bucketOf := func(v float64) int {
+		b := int(v * g.pickScale)
+		if b >= k {
+			b = k - 1
+		}
+		return b
+	}
+	prev := 0
+	for i := 0; i < n; i++ {
+		hi := bucketOf(g.cum[i])
+		for j := prev; j <= hi; j++ {
+			if g.pick[2*j] > int32(i) {
+				g.pick[2*j] = int32(i)
+			}
+			g.pick[2*j+1] = int32(i)
+		}
+		prev = hi
+	}
 }
 
 // hashName hashes a workload name into a seed component (FNV-1a).

@@ -1,10 +1,13 @@
 package workload
 
 import (
+	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/dram"
+	"repro/internal/rng"
 )
 
 func testRegion() Region {
@@ -244,4 +247,43 @@ func TestZeroMPKIPanics(t *testing.T) {
 		}
 	}()
 	NewGenerator(Spec{Name: "bad"}, testRegion(), 0, 1, Params{})
+}
+
+// TestPickIndexMatchesSearchFloat64s pins the bucket-indexed inverse-CDF
+// draw against its reference semantics: for any x, pickIndex must return
+// exactly sort.SearchFloat64s(cum, x) — the smallest i with cum[i] >= x.
+// The draw feeds hot-row selection, so a one-off here shifts golden
+// figure bytes.
+func TestPickIndexMatchesSearchFloat64s(t *testing.T) {
+	for _, name := range []string{"gcc", "lbm", "xz"} {
+		spec, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s spec missing", name)
+		}
+		g := NewGenerator(spec, testRegion(), 0, 7, Params{})
+		if len(g.cum) == 0 {
+			t.Fatalf("%s: no hot rows", name)
+		}
+		total := g.cum[len(g.cum)-1]
+		check := func(x float64) {
+			got := g.pickIndex(x)
+			want := sort.SearchFloat64s(g.cum, x)
+			if got != want {
+				t.Fatalf("%s: pickIndex(%v) = %d, want %d", name, x, got, want)
+			}
+		}
+		// Boundary probes: exact cumulative values and their neighbours are
+		// where an off-by-one in the bucket scan would land.
+		for _, c := range g.cum {
+			check(c)
+			check(math.Nextafter(c, 0))
+			check(math.Nextafter(c, total))
+		}
+		check(0)
+		check(total)
+		r := rng.New(0xA11CE)
+		for i := 0; i < 100000; i++ {
+			check(r.Float64() * total)
+		}
+	}
 }
