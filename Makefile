@@ -60,7 +60,7 @@ bench-smoke:
 
 # Full-cell wall-clock budget: one complete 64ms refresh-window cell (the
 # unit every figure grid decomposes into) must finish inside the budget
-# (default 1000ms; REPRO_BENCH_FULL_BUDGET_MS to adjust per host).
+# (default 750ms; REPRO_BENCH_FULL_BUDGET_MS to adjust per host — CI uses 2000ms).
 bench-full:
 	REPRO_BENCH_FULL=1 $(GO) test -run='^TestFullWindowCellBudget$$' -count=1 -v -timeout 600s .
 

@@ -403,8 +403,11 @@ type BenchRecord struct {
 	GridCells  int    `json:"grid_cells"`
 	Jobs       int    `json:"jobs"`
 
-	WallSerialSec   float64 `json:"wall_serial_sec"`
-	WallParallelSec float64 `json:"wall_parallel_sec"`
+	WallSerialSec float64 `json:"wall_serial_sec"`
+	// WallParallelSec is null on a 1-core host: the -j N pass is skipped
+	// outright there (it would measure scheduler overhead, and at ~13s it
+	// doubled bench-json's cost for a number SpeedupNote then disclaimed).
+	WallParallelSec *float64 `json:"wall_parallel_sec"`
 	// Speedup is wall_serial/wall_parallel — but only when the host has
 	// cores to parallelize over. On a 1-core host the ratio measures
 	// scheduler overhead, not the engine, so it is recorded as null with
@@ -448,14 +451,17 @@ type MicroMetric struct {
 // testing.Benchmark and collapses each into a MicroMetric.
 func runMicrobenches() map[string]MicroMetric {
 	benches := map[string]func(*testing.B){
-		"dram_access":      perf.BenchAccess,
-		"ctrl_submit":      perf.BenchSubmit,
-		"ctrl_submitbatch": perf.BenchSubmitBatch,
-		"tracker_act":      perf.BenchTrackerACT,
-		"workload_stream":  perf.BenchGeneratorStream,
-		"event_pop":        perf.BenchEventPop,
-		"issue_loop_8c":    perf.BenchIssueLoop8,
-		"issue_loop_16c":   perf.BenchIssueLoop16,
+		"dram_access":          perf.BenchAccess,
+		"ctrl_submit":          perf.BenchSubmit,
+		"ctrl_submitbatch":     perf.BenchSubmitBatch,
+		"tracker_act":          perf.BenchTrackerACT,
+		"tracker_act_hot":      perf.BenchTrackerACTHot,
+		"tracker_act_cold":     perf.BenchTrackerACTCold,
+		"mitigation_translate": perf.BenchTranslate,
+		"workload_stream":      perf.BenchGeneratorStream,
+		"event_pop":            perf.BenchEventPop,
+		"issue_loop_8c":        perf.BenchIssueLoop8,
+		"issue_loop_16c":       perf.BenchIssueLoop16,
 	}
 	out := make(map[string]MicroMetric, len(benches))
 	for name, fn := range benches {
@@ -489,15 +495,29 @@ func TestBenchJSON(t *testing.T) {
 	serialOpts, parallelOpts := opts, opts
 	serialOpts.Parallel = 1
 	parallelOpts.Parallel = jobs
-	serialLab, parallelLab := NewLab(serialOpts), NewLab(parallelOpts)
+	serialLab := NewLab(serialOpts)
+
+	// On a 1-core host the -j N pass measures goroutine scheduling, not
+	// the engine, and the record disclaims it anyway — skip the timing run
+	// entirely and record wall_parallel_sec as null. Every downstream
+	// consumer (figures, metrics) reads from the serial lab instead.
+	oneCore := runtime.NumCPU() == 1
+	var parallelLab *Lab
+	var wallParallel time.Duration
+	if !oneCore {
+		parallelLab = NewLab(parallelOpts)
+		start := time.Now()
+		if err := parallelLab.Precompute(grid...); err != nil {
+			t.Fatal(err)
+		}
+		wallParallel = time.Since(start)
+	}
+	metricsLab := parallelLab
+	if oneCore {
+		metricsLab = serialLab
+	}
 
 	start := time.Now()
-	if err := parallelLab.Precompute(grid...); err != nil {
-		t.Fatal(err)
-	}
-	wallParallel := time.Since(start)
-
-	start = time.Now()
 	if err := serialLab.Precompute(grid...); err != nil {
 		t.Fatal(err)
 	}
@@ -549,13 +569,15 @@ func TestBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallelOut, err := parallelLab.Figure7()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if serialOut != parallelOut {
-		t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
-			serialOut, parallelOut)
+	if !oneCore {
+		parallelOut, err := parallelLab.Figure7()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serialOut != parallelOut {
+			t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				serialOut, parallelOut)
+		}
 	}
 	warmOut, err := warmLab.Figure7()
 	if err != nil {
@@ -566,21 +588,21 @@ func TestBenchJSON(t *testing.T) {
 			serialOut, warmOut)
 	}
 
-	aquaGM, err := labGmean(parallelLab, SchemeAquaMemMapped, 1000)
+	aquaGM, err := labGmean(metricsLab, SchemeAquaMemMapped, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rrsGM, err := labGmean(parallelLab, SchemeRRS, 1000)
+	rrsGM, err := labGmean(metricsLab, SchemeRRS, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var migrAqua, migrRRS float64
 	for _, name := range opts.Workloads {
-		a, err := parallelLab.Run(name, SchemeAquaMemMapped, 1000)
+		a, err := metricsLab.Run(name, SchemeAquaMemMapped, 1000)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := parallelLab.Run(name, SchemeRRS, 1000)
+		r, err := metricsLab.Run(name, SchemeRRS, 1000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -601,7 +623,6 @@ func TestBenchJSON(t *testing.T) {
 		GridCells:         len(grid),
 		Jobs:              jobs,
 		WallSerialSec:     wallSerial.Seconds(),
-		WallParallelSec:   wallParallel.Seconds(),
 		WallFullSec:       wallFull.Seconds(),
 		WallColdSec:       wallCold.Seconds(),
 		WallWarmSec:       wallWarm.Seconds(),
@@ -612,13 +633,16 @@ func TestBenchJSON(t *testing.T) {
 		MigrRRSPer64ms:    migrRRS / n,
 		Micro:             runMicrobenches(),
 	}
-	if rec.HostCores == 1 {
+	if oneCore {
 		// A serial/parallel ratio measured with no cores to spare is
-		// scheduler noise; don't record it as an engine property.
+		// scheduler noise; don't record it as an engine property (and the
+		// pass was skipped above, so there is nothing to record).
 		rec.SpeedupNote = "host has 1 core; serial/parallel ratio not meaningful, speedup omitted"
 		fmt.Fprintf(os.Stderr, "bench-json: warning: %s\n", rec.SpeedupNote)
 	} else {
-		speedup := wallSerial.Seconds() / wallParallel.Seconds()
+		wp := wallParallel.Seconds()
+		rec.WallParallelSec = &wp
+		speedup := wallSerial.Seconds() / wp
 		rec.Speedup = &speedup
 	}
 	// A 2x speedup at -j 4 is the acceptance bar, but it is only
@@ -635,12 +659,15 @@ func TestBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	speedupStr := "n/a"
+	speedupStr, parStr := "n/a", "skipped"
 	if rec.Speedup != nil {
 		speedupStr = fmt.Sprintf("%.2fx", *rec.Speedup)
 	}
-	t.Logf("recorded %s: serial %.1fs, -j %d %.1fs (%s), full cell %.2fs, cache cold %.1fs warm %.2fs (%d hits)",
-		path, rec.WallSerialSec, jobs, rec.WallParallelSec, speedupStr,
+	if rec.WallParallelSec != nil {
+		parStr = fmt.Sprintf("%.1fs", *rec.WallParallelSec)
+	}
+	t.Logf("recorded %s: serial %.1fs, -j %d %s (%s), full cell %.2fs, cache cold %.1fs warm %.2fs (%d hits)",
+		path, rec.WallSerialSec, jobs, parStr, speedupStr,
 		rec.WallFullSec, rec.WallColdSec, rec.WallWarmSec, rec.CacheHits)
 }
 

@@ -178,6 +178,25 @@ type Engine struct {
 	// SRAM CAT / in-DRAM table model the *access cost* of reaching it.
 	fptSlot []int32
 	rpt     []rptEntry
+	// fast is the Translate fast path: bit `row` is set exactly when the
+	// row resolves to itself through the slow path's cheapest early
+	// return — not an RQA slot or table row, not quarantined, and
+	// (memory-mapped mode) its bloom group bit clear. The common
+	// "ordinary row" case then costs one branch-predictable bit probe
+	// instead of the layout arithmetic and filter walk; translateSlow
+	// keeps every panic, fault hook, and latency charge for the rest.
+	// A bitmap rather than a byte array because the probe is a cache
+	// miss magnet: one bit per row keeps the whole structure (~256KB for
+	// 2M rows) cache-resident where a byte map would not be. Maintained
+	// at the three places the predicate can change: New, mitigate,
+	// clearMapping.
+	fast     []uint64
+	fastRows uint64
+	// fastLat/fastClass are the mode's precomputed fast-path translation
+	// (BloomLatency/LookupBloomFiltered memory-mapped, SRAMLatency/
+	// LookupSRAM in SRAM mode), so the hot path is branch-free on mode.
+	fastLat   dram.PS
+	fastClass mitigation.LookupClass
 	head    int
 	epoch   int64
 	// quarCount tracks the number of valid RPT entries incrementally, so
@@ -313,6 +332,17 @@ func New(rank *dram.Rank, cfg Config) *Engine {
 		e.fptCAT = cat.New(cat.Config{Sets: sets, Ways: 8, Seed: cfg.Seed ^ 0xa9fa, MaxRelocations: 16})
 	}
 
+	e.fast = make([]uint64, (geom.Rows()+63)/64)
+	e.fastRows = uint64(geom.Rows())
+	if cfg.Mode == ModeMemMapped {
+		e.fastLat, e.fastClass = e.cfg.BloomLatency, mitigation.LookupBloomFiltered
+	} else {
+		e.fastLat, e.fastClass = e.cfg.SRAMLatency, mitigation.LookupSRAM
+	}
+	for r := 0; r < geom.Rows(); r++ {
+		e.setFast(dram.Row(r), e.fastEligible(dram.Row(r)))
+	}
+
 	e.chk = cfg.Invariants
 	e.art = cfg.Tracker
 	if e.art == nil {
@@ -436,7 +466,70 @@ func (e *Engine) Name() string { return "aqua-" + e.cfg.Mode.String() }
 // Translate implements mitigation.Mitigator: it resolves the current
 // physical location of an install row, charging the lookup path of the
 // configured mode (Figure 10's four categories in memory-mapped mode).
+//
+// The common "ordinary row" case — not quarantined, not remapped, outside
+// AQUA's own regions — is answered by one probe of the fast bitmap with
+// the mode's precomputed latency and class; it returns exactly what the
+// slow path's earliest return would (in memory-mapped mode that return
+// sits behind the bloom filter's definitive negative, so the fast path
+// skips the filter's internal test counter but charges the same latency
+// and increments the same Lookups class). Everything else — RQA/geometry
+// panics, pinned table rows, quarantine hits, fault hooks — falls through
+// to translateSlow, which is the previous Translate verbatim.
 func (e *Engine) Translate(row dram.Row, now dram.PS) mitigation.Translation {
+	if w := uint64(row); w < e.fastRows && e.fast[w>>6]&(1<<(w&63)) != 0 {
+		e.stats.Lookups[e.fastClass]++
+		return mitigation.Translation{PhysRow: row, Latency: e.fastLat, Class: e.fastClass}
+	}
+	return e.translateSlow(row, now)
+}
+
+// setFast writes one row's fast-bitmap bit.
+func (e *Engine) setFast(r dram.Row, v bool) {
+	if v {
+		e.fast[uint64(r)>>6] |= 1 << (uint64(r) & 63)
+	} else {
+		e.fast[uint64(r)>>6] &^= 1 << (uint64(r) & 63)
+	}
+}
+
+// fastEligible computes one row's fast-bitmap entry from the authoritative
+// structures; the maintenance hooks keep the bitmap equal to this
+// predicate at all times (CheckInvariants audits it).
+func (e *Engine) fastEligible(r dram.Row) bool {
+	if _, isSlot := e.rowSlot(r); isSlot {
+		return false
+	}
+	if e.isTableRow(r) || e.fptSlot[r] >= 0 {
+		return false
+	}
+	if e.cfg.Mode == ModeMemMapped && e.bloom.GroupOccupancy(uint32(r)) > 0 {
+		// Group bit set (bit state and occupancy move together): the slow
+		// path must walk the cache/singleton/DRAM chain.
+		return false
+	}
+	return true
+}
+
+// fastRefreshGroup recomputes the bitmap for every row sharing old's bloom
+// group, called on the two transitions that flip a whole group's bit:
+// first quarantine in a group (all members lose the fast path to the
+// filter's possibly-quarantined answer) and last eviction from it (the
+// surviving ordinary members get it back). Group size is a small constant
+// (default 16 rows).
+func (e *Engine) fastRefreshGroup(member dram.Row) {
+	size := e.bloom.GroupSize()
+	start := int(e.bloom.GroupOf(uint32(member))) * size
+	end := start + size
+	if end > int(e.fastRows) {
+		end = int(e.fastRows)
+	}
+	for r := start; r < end; r++ {
+		e.setFast(dram.Row(r), e.fastEligible(dram.Row(r)))
+	}
+}
+
+func (e *Engine) translateSlow(row dram.Row, now dram.PS) mitigation.Translation {
 	if !e.geom.Contains(row) {
 		panic(fmt.Sprintf("core: translate of row %d outside geometry", row))
 	}
@@ -444,18 +537,27 @@ func (e *Engine) Translate(row dram.Row, now dram.PS) mitigation.Translation {
 		panic(fmt.Sprintf("core: translate of RQA row %d (software must not address the RQA)", row))
 	}
 
-	phys := row
-	if s := e.fptSlot[row]; s >= 0 {
-		phys = e.slotRow(int(s))
-	}
+	// The forward-table read is deferred into the branches that resolve
+	// through it: the memory-mapped bloom/cache/singleton paths below
+	// never consult fptSlot directly (the FPT-Cache and the in-DRAM walk
+	// carry the mapping), so probing the big array up front would cost
+	// every bloom false positive a pointless cache miss.
 
 	// Rows holding AQUA's own tables resolve from pinned SRAM entries.
 	if e.isTableRow(row) {
+		phys := row
+		if s := e.fptSlot[row]; s >= 0 {
+			phys = e.slotRow(int(s))
+		}
 		e.stats.Lookups[mitigation.LookupPinned]++
 		return mitigation.Translation{PhysRow: phys, Latency: e.cfg.SRAMLatency, Class: mitigation.LookupPinned}
 	}
 
 	if e.cfg.Mode == ModeSRAM {
+		phys := row
+		if s := e.fptSlot[row]; s >= 0 {
+			phys = e.slotRow(int(s))
+		}
 		e.stats.Lookups[mitigation.LookupSRAM]++
 		return mitigation.Translation{PhysRow: phys, Latency: e.cfg.SRAMLatency, Class: mitigation.LookupSRAM}
 	}
@@ -619,6 +721,7 @@ func (e *Engine) mitigate(physRow dram.Row, at dram.PS) dram.PS {
 	// Update FPT and RPT.
 	wasQuarantined := e.fptSlot[install] >= 0
 	e.fptSlot[install] = int32(d)
+	e.setFast(install, false) // quarantined rows always take the slow path
 	e.rpt[d] = rptEntry{install: install, valid: true, epochUsed: e.epoch}
 	e.quarCount++
 
@@ -631,6 +734,11 @@ func (e *Engine) mitigate(physRow dram.Row, at dram.PS) dram.PS {
 		if !wasQuarantined && !e.isTableRow(install) {
 			occBefore := e.bloom.GroupOccupancy(uint32(install))
 			e.bloom.Add(uint32(install))
+			if occBefore == 0 {
+				// The group bit flipped set: every member now gets the
+				// filter's "possibly quarantined" answer.
+				e.fastRefreshGroup(install)
+			}
 			if occBefore == 1 {
 				// The group just stopped being a singleton.
 				e.fptCache.SetGroupSingleton(uint32(install), false)
@@ -739,10 +847,16 @@ func (e *Engine) clearMapping(old dram.Row, t dram.PS) {
 	switch e.cfg.Mode {
 	case ModeSRAM:
 		e.fptCAT.Delete(old)
+		e.setFast(old, e.fastEligible(old))
 	case ModeMemMapped:
 		if !e.isTableRow(old) {
 			e.fptCache.Invalidate(uint32(old))
 			e.bloom.Remove(uint32(old))
+			if e.bloom.GroupOccupancy(uint32(old)) == 0 {
+				// The group bit flipped clear: surviving ordinary members
+				// regain the bloom-filtered fast path.
+				e.fastRefreshGroup(old)
+			}
 			if e.bloom.GroupOccupancy(uint32(old)) == 1 {
 				// Back to a singleton group: set the bit on the remaining
 				// resident member, if cached.
@@ -887,6 +1001,12 @@ func (e *Engine) CheckInvariants() error {
 	}
 	if quarantined != valid {
 		return fmt.Errorf("core: %d forward pointers vs %d valid slots", quarantined, valid)
+	}
+	for r := uint64(0); r < e.fastRows; r++ {
+		have := e.fast[r>>6]&(1<<(r&63)) != 0
+		if want := e.fastEligible(dram.Row(r)); have != want {
+			return fmt.Errorf("core: translate fast bitmap stale at row %d (have %v, want %v)", r, have, want)
+		}
 	}
 	if e.cfg.Mode == ModeMemMapped {
 		occ := make(map[uint32]int)

@@ -65,11 +65,14 @@ type Core struct {
 	id     int
 	stream Stream
 
-	// outstanding completion times, oldest first. The backing array is
-	// allocated once at MLP capacity and reused for the life of the core
-	// (popping shifts in place), so the steady-state request path never
-	// allocates.
+	// outstanding completion times, oldest first, held in a fixed ring of
+	// MLP capacity: outHead is the physical index of the oldest entry and
+	// outLen the occupancy. A ring rather than a shifted slice because the
+	// oldest-miss pop runs once per request — the memmove was a fixed tax
+	// on the issue hot path. The steady-state request path never allocates.
 	outstanding []dram.PS
+	outHead     int
+	outLen      int
 	// nextIssue is when the next request's compute gap has elapsed.
 	nextIssue dram.PS
 	// queued is the next request, already drawn from the stream.
@@ -89,14 +92,14 @@ func New(id int, stream Stream, cfg Config) *Core {
 		panic("cpu: nil stream")
 	}
 	return &Core{cfg: cfg, id: id, stream: stream,
-		outstanding: make([]dram.PS, 0, cfg.MLP)}
+		outstanding: make([]dram.PS, cfg.MLP)}
 }
 
 // ID returns the core's index.
 func (c *Core) ID() int { return c.id }
 
 // Done reports whether the stream is exhausted and all misses returned.
-func (c *Core) Done() bool { return c.done && len(c.outstanding) == 0 }
+func (c *Core) Done() bool { return c.done && c.outLen == 0 }
 
 // InstrRetired returns the instructions completed so far.
 func (c *Core) InstrRetired() int64 { return c.instrRetired }
@@ -115,6 +118,14 @@ func (c *Core) IPC(elapsed dram.PS) float64 {
 	}
 	cycles := float64(elapsed) / 1e12 * float64(c.cfg.FreqHz)
 	return float64(c.instrRetired) / cycles
+}
+
+// QueuedRow returns the row targeted by the core's buffered next request,
+// ok=false when none is buffered yet (call NextIssueTime first) or the
+// stream is exhausted. The run loop's blocked-bank scheduler reads it to
+// decide whether the core can park on its target bank's expiry event.
+func (c *Core) QueuedRow() (dram.Row, bool) {
+	return c.queued.Row, c.hasQueue
 }
 
 // gapTime converts an instruction gap into core time.
@@ -144,10 +155,10 @@ func (c *Core) NextIssueTime() (dram.PS, bool) {
 		c.nextIssue += c.gapTime(req.GapInstr)
 	}
 	issue := c.nextIssue
-	if len(c.outstanding) >= c.cfg.MLP {
+	if c.outLen >= c.cfg.MLP {
 		// All miss slots busy: stall until the oldest miss returns.
-		if c.outstanding[0] > issue {
-			issue = c.outstanding[0]
+		if t := c.outstanding[c.outHead]; t > issue {
+			issue = t
 		}
 	}
 	return issue, true
@@ -182,6 +193,16 @@ func (c *Core) IssueRun(at, limit dram.PS, max int, submit func(row dram.Row, wr
 	}
 }
 
+// outSlot maps a logical position in the outstanding window (0 = oldest)
+// to its ring slot.
+func (c *Core) outSlot(i int) *dram.PS {
+	j := c.outHead + i
+	if j >= len(c.outstanding) {
+		j -= len(c.outstanding)
+	}
+	return &c.outstanding[j]
+}
+
 // Issue submits the queued request through submit (typically
 // memctrl.Controller.Submit) at time `at` and updates core state with the
 // completion time.
@@ -189,24 +210,28 @@ func (c *Core) Issue(at dram.PS, submit func(row dram.Row, write bool, at dram.P
 	if !c.hasQueue {
 		panic(fmt.Sprintf("cpu: core %d Issue without a queued request", c.id))
 	}
-	if len(c.outstanding) >= c.cfg.MLP {
-		oldest := c.outstanding[0]
-		// Shift in place rather than re-slicing: the re-slice walks the
-		// backing array forward until append must reallocate, turning every
-		// MLP requests into a fresh allocation on the hot path.
-		n := copy(c.outstanding, c.outstanding[1:])
-		c.outstanding = c.outstanding[:n]
+	if c.outLen >= c.cfg.MLP {
+		oldest := c.outstanding[c.outHead]
+		c.outHead++
+		if c.outHead == len(c.outstanding) {
+			c.outHead = 0
+		}
+		c.outLen--
 		if oldest > c.nextIssue {
 			c.stallTime += oldest - c.nextIssue
 		}
 	}
 	done := submit(c.queued.Row, c.queued.Write, at)
-	c.outstanding = append(c.outstanding, done)
-	// Keep completions ordered; out-of-order completions are rare (bank
-	// timing is mostly FIFO per this model) but possible across banks.
-	for i := len(c.outstanding) - 1; i > 0 && c.outstanding[i] < c.outstanding[i-1]; i-- {
-		c.outstanding[i], c.outstanding[i-1] = c.outstanding[i-1], c.outstanding[i]
+	// Insert keeping completions ordered; out-of-order completions are
+	// rare (bank timing is mostly FIFO per this model) but possible
+	// across banks, so the bubble loop almost never iterates.
+	i := c.outLen
+	c.outLen++
+	for i > 0 && *c.outSlot(i-1) > done {
+		*c.outSlot(i) = *c.outSlot(i-1)
+		i--
 	}
+	*c.outSlot(i) = done
 	c.instrRetired += c.queued.GapInstr + 1
 	if done > c.lastComplete {
 		c.lastComplete = done

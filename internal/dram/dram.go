@@ -272,7 +272,10 @@ type Rank struct {
 	actHist [4]PS
 	actIdx  int
 
-	actCounts []uint64 // lifetime ACT count per row
+	// actCounts is the lifetime ACT count per row. uint32 halves the array
+	// (8MB at 2M rows) to ease hot-loop cache pressure; ms-scale windows
+	// top out at ~tREFW/tRC ~ 1.4M ACTs per row per epoch, far below 2^32.
+	actCounts []uint32
 	listeners []ActListener
 	// single caches the sole listener when exactly one is registered — the
 	// common case (one tracker) — so activate makes a direct call instead
@@ -343,7 +346,7 @@ func NewRank(g Geometry, t Timing) *Rank {
 		geom:      g,
 		timing:    t,
 		banks:     make([]bank, g.Banks),
-		actCounts: make([]uint64, g.Rows()),
+		actCounts: make([]uint32, g.Rows()),
 	}
 	for i := range r.banks {
 		r.banks[i].openRow = InvalidRow
@@ -465,7 +468,7 @@ func (r *Rank) checkCol(bank int, at PS) {
 
 // ActCount returns the lifetime number of activations of a row.
 func (r *Rank) ActCount(row Row) uint64 {
-	return r.actCounts[row]
+	return uint64(r.actCounts[row])
 }
 
 // bankOpen reports whether b's row buffer is effectively open: the stored

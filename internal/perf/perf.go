@@ -127,6 +127,61 @@ func BenchTrackerACT(b *testing.B) {
 	}
 }
 
+// BenchTranslate measures the AQUA engine's address translation alone —
+// the per-request FPT lookup the mitigation charges on the critical
+// path. The driver pattern is ordinary (never-quarantined) rows, so this
+// tracks the flattened fast path: one bitmap probe per op in the common
+// "not quarantined, not remapped" case the full-window profile is
+// dominated by.
+func BenchTranslate(b *testing.B) {
+	sys := newSystem()
+	geom := sys.Rank.Geometry()
+	mit := sys.Mit
+	b.ReportAllocs()
+	b.ResetTimer()
+	at := dram.PS(0)
+	for i := 0; i < b.N; i++ {
+		tr := mit.Translate(rowPattern(geom, i), at)
+		at += tr.Latency
+	}
+}
+
+// BenchTrackerACTHot measures the tracker's already-tracked fast path:
+// every op hits a row with a live Misra-Gries entry, so the cost is one
+// dense-array probe, increment, and divide-free threshold test.
+func BenchTrackerACTHot(b *testing.B) {
+	geom := dram.Baseline()
+	timing := dram.DDR4()
+	tr := tracker.NewMisraGries(geom, 500, tracker.ProvisionEntries(timing, 500))
+	// Install one row per bank; the measured loop cycles over exactly
+	// these, so every RecordACT takes the tracked-row path.
+	for bank := 0; bank < geom.Banks; bank++ {
+		tr.RecordACT(geom.RowOf(bank, 0))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RecordACT(geom.RowOf(i%geom.Banks, 0))
+	}
+}
+
+// BenchTrackerACTCold measures the tracker's untracked slow path: a wide
+// stride keeps almost every op on a row with no live entry, so the cost
+// is the install path — free-slot claim early on, then the spill pump
+// and lazy-heap eviction check once the per-bank tables fill.
+func BenchTrackerACTCold(b *testing.B) {
+	geom := dram.Baseline()
+	timing := dram.DDR4()
+	tr := tracker.NewMisraGries(geom, 500, tracker.ProvisionEntries(timing, 500))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Walk every bank, striding far enough that a row repeats only
+		// after rowsPerBank/1021 * banks ops — long past eviction.
+		tr.RecordACT(geom.RowOf(i%geom.Banks, (i*1021)%geom.RowsPerBank))
+	}
+}
+
 // BenchGeneratorStream measures workload synthesis: one stream.Next per
 // op on a high-MPKI SPEC workload.
 func BenchGeneratorStream(b *testing.B) {

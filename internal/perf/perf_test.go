@@ -7,6 +7,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/event"
 	"repro/internal/sim"
+	"repro/internal/tracker"
 	"repro/internal/workload"
 )
 
@@ -14,6 +15,9 @@ func BenchmarkAccess(b *testing.B)          { BenchAccess(b) }
 func BenchmarkSubmit(b *testing.B)          { BenchSubmit(b) }
 func BenchmarkSubmitBatch(b *testing.B)     { BenchSubmitBatch(b) }
 func BenchmarkTrackerACT(b *testing.B)      { BenchTrackerACT(b) }
+func BenchmarkTrackerACTHot(b *testing.B)   { BenchTrackerACTHot(b) }
+func BenchmarkTrackerACTCold(b *testing.B)  { BenchTrackerACTCold(b) }
+func BenchmarkTranslate(b *testing.B)       { BenchTranslate(b) }
 func BenchmarkGeneratorStream(b *testing.B) { BenchGeneratorStream(b) }
 func BenchmarkEventPop(b *testing.B)        { BenchEventPop(b) }
 func BenchmarkIssueLoop4(b *testing.B)      { BenchIssueLoop4(b) }
@@ -47,6 +51,34 @@ func TestRequestPathZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(5000, issueOne); avg != 0 {
 		t.Fatalf("steady-state request path allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestTranslateTrackerZeroAlloc holds the budget for the two flattened
+// profile leaders in isolation: the AQUA translate fast path and both
+// tracker RecordACT paths must not allocate.
+func TestTranslateTrackerZeroAlloc(t *testing.T) {
+	sys := sim.NewSystem(sim.Config{
+		Scheme: sim.SchemeAquaMemMapped,
+		TRH:    1000,
+		Cores:  1,
+	}, []cpu.Stream{NewSyntheticStream(dram.Baseline())})
+	geom := sys.Rank.Geometry()
+	i := 0
+	if avg := testing.AllocsPerRun(5000, func() {
+		sys.Mit.Translate(rowPattern(geom, i), 0)
+		i++
+	}); avg != 0 {
+		t.Fatalf("Translate allocates %.2f allocs/op, want 0", avg)
+	}
+	tr := sys.Aqua.Tracker().(*tracker.MisraGries)
+	j := 0
+	if avg := testing.AllocsPerRun(5000, func() {
+		tr.RecordACT(geom.RowOf(j%geom.Banks, (j*1021)%geom.RowsPerBank))
+		tr.RecordACT(geom.RowOf(j%geom.Banks, 0))
+		j++
+	}); avg != 0 {
+		t.Fatalf("RecordACT allocates %.2f allocs/op, want 0", avg)
 	}
 }
 

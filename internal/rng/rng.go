@@ -142,6 +142,42 @@ func (r *Rand) Uint64n(n uint64) uint64 {
 	}
 }
 
+// Uniform is a precomputed drawer of uniform values in [0, n) for hot
+// call sites that draw from the same bound repeatedly: Uint64n recomputes
+// its rejection threshold — two 64-bit divides — on every call, while a
+// Uniform pays them once. Draw consumes exactly the same stream values
+// and returns exactly the same results as Uint64n(n), so swapping one in
+// never changes a deterministic run.
+type Uniform struct {
+	n    uint64
+	mask uint64 // n-1 when n is a power of two
+	pow2 bool
+	max  uint64 // rejection bound for the general case
+}
+
+// NewUniform precomputes a Uniform for bound n. It panics if n == 0.
+func NewUniform(n uint64) Uniform {
+	if n == 0 {
+		panic("rng: NewUniform called with zero n")
+	}
+	if n&(n-1) == 0 {
+		return Uniform{n: n, mask: n - 1, pow2: true}
+	}
+	return Uniform{n: n, max: ^uint64(0) - (^uint64(0)%n+1)%n}
+}
+
+// Draw returns the next uniform value in [0, n) from r's stream.
+func (u Uniform) Draw(r *Rand) uint64 {
+	if u.pow2 {
+		return r.Uint64() & u.mask
+	}
+	for {
+		if v := r.Uint64(); v <= u.max {
+			return v % u.n
+		}
+	}
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/event"
+)
+
+// hammerStream emits n requests alternating between two rows (forcing a
+// row miss and a fresh activation on every access) with a fixed
+// instruction gap. The gap is sized so the core's next issue lands past
+// its bank's tRC window and past the parkSpan profitability gate — the
+// exact shape tryPark accepts (1500 instr at 2 IPC / 3 GHz = 250 ns,
+// versus tRC = 45 ns and parkSpan = 180 ns).
+type hammerStream struct {
+	left int
+	rows [2]dram.Row
+	i    int
+}
+
+func (s *hammerStream) Next() (cpu.Request, bool) {
+	if s.left == 0 {
+		return cpu.Request{}, false
+	}
+	s.left--
+	r := s.rows[s.i&1]
+	s.i++
+	return cpu.Request{Row: r, GapInstr: 1500}, true
+}
+
+// sameBankConfig is two MLP-1 cores hammering disjoint row pairs in the
+// same bank: every issue re-blocks the bank for the other core, so
+// parking triggers constantly.
+func sameBankConfig() (Config, func() []cpu.Stream) {
+	cfg := Config{
+		Scheme:  SchemeBaseline,
+		Timing:  dram.DDR4(),
+		Cores:   2,
+		CoreCfg: cpu.Config{MLP: 1},
+	}
+	cfg.fillDefaults()
+	streams := func() []cpu.Stream {
+		return []cpu.Stream{
+			&hammerStream{left: 400, rows: [2]dram.Row{cfg.Geometry.RowOf(0, 0), cfg.Geometry.RowOf(0, 1)}},
+			&hammerStream{left: 400, rows: [2]dram.Row{cfg.Geometry.RowOf(0, 2), cfg.Geometry.RowOf(0, 3)}},
+		}
+	}
+	return cfg, streams
+}
+
+// TestParkingPreservesObservableTiming runs the same two-core same-bank
+// hammer twice — once with the blocked-bank scheduler live, once with
+// parking disabled so every core stays on the issue heap — and requires
+// the two runs to be observationally identical: same Result, same
+// per-core completion times. Combined with the parks counter proving the
+// first run actually parked, this is the regression that a parked core
+// never issues before its bank frees: an early (or late, or reordered)
+// issue would shift activation times, stall accounting, and completion
+// times, all of which are compared here.
+func TestParkingPreservesObservableTiming(t *testing.T) {
+	cfg, streams := sameBankConfig()
+
+	parked := NewSystem(cfg, streams())
+	parkedRes := parked.Run(0)
+	if parked.parks == 0 {
+		t.Fatal("scenario never parked a core; the test is not exercising the scheduler")
+	}
+
+	ref := NewSystem(cfg, streams())
+	ref.noPark = true
+	refRes := ref.Run(0)
+	if ref.parks != 0 {
+		t.Fatal("noPark system parked anyway")
+	}
+
+	if !reflect.DeepEqual(parkedRes, refRes) {
+		t.Errorf("parked run diverged from heap-only run:\nparked: %+v\nref:    %+v", parkedRes, refRes)
+	}
+	for i := range parked.Cores {
+		if p, r := parked.Cores[i].FinishTime(), ref.Cores[i].FinishTime(); p != r {
+			t.Errorf("core %d finish time: parked %d, ref %d", i, p, r)
+		}
+		if p, r := parked.Cores[i].StallTime(), ref.Cores[i].StallTime(); p != r {
+			t.Errorf("core %d stall time: parked %d, ref %d", i, p, r)
+		}
+	}
+}
+
+// TestTryParkRespectsBankReady pins the park gate itself: a core is
+// parked only when its bank is blocked now AND its next issue lands at or
+// past the bank's ready time, and its recorded wake is never before
+// BankReadyAt — so by construction a parked core cannot issue into a
+// still-blocked bank.
+func TestTryParkRespectsBankReady(t *testing.T) {
+	cfg, streams := sameBankConfig()
+	sys := NewSystem(cfg, streams())
+	sys.parkSpan = 0  // the gate under test here is BankReadyAt, not profitability
+	sys.resetEvents() // primes core queues and the bankParked lists
+	sys.cal.Reset()
+
+	// Make bank 0 busy: a cold access activates it and holds readyACT
+	// for the row-cycle window.
+	sys.Rank.Access(cfg.Geometry.RowOf(0, 7), false, 0)
+	ready := sys.Rank.BankReadyAt(0)
+	if ready <= 0 {
+		t.Fatalf("bank 0 ready at %d after an activation, want > 0", ready)
+	}
+
+	if sys.tryPark(0, 1, ready-1) {
+		t.Fatal("parked a core that issues before the bank frees; Submit must charge that stall instead")
+	}
+	if !sys.tryPark(0, 1, ready) {
+		t.Fatal("refused to park a core issuing exactly at the bank's ready time")
+	}
+	if sys.parkedWake[0] < ready {
+		t.Fatalf("parked core wake %d precedes BankReadyAt %d", sys.parkedWake[0], ready)
+	}
+
+	root, ok := sys.cal.MinIndexed()
+	if !ok || root.Class != event.ClassBankExpiry || root.Time != ready {
+		t.Fatalf("calendar root = %+v, %v; want ClassBankExpiry at %d covering the park", root, ok, ready)
+	}
+	sys.cal.DropIndexedMin()
+	sys.wakeBank(root.Index)
+	woken, ok := sys.cal.MinIndexed()
+	if !ok || woken.Class != event.ClassCoreIssue || woken.Index != 0 || woken.Time != ready {
+		t.Fatalf("woken event = %+v, %v; want core 0 issue at exactly its recorded wake %d", woken, ok, ready)
+	}
+}
+
+// TestBankExpiryIssueCollision pins the equal-timestamp ordering the
+// scheduler's soundness argument leans on: when a bank's expiry event and
+// another core's issue event land on the same picosecond, the expiry is
+// serviced first (ClassBankExpiry < ClassCoreIssue), so the parked core
+// is back in the heap before any same-time issue runs — and the usual
+// (time, class, index) order then decides who issues first. Here core 0
+// is parked with wake T and core 1 holds an issue event at the same T on
+// the same bank; the required service order is expiry, core 0, core 1.
+func TestBankExpiryIssueCollision(t *testing.T) {
+	cfg, streams := sameBankConfig()
+	sys := NewSystem(cfg, streams())
+	sys.parkSpan = 0
+	sys.resetEvents()
+	sys.cal.Reset()
+
+	sys.Rank.Access(cfg.Geometry.RowOf(0, 7), false, 0)
+	wake := sys.Rank.BankReadyAt(0)
+
+	sys.cal.Push(event.Event{Time: wake, Class: event.ClassCoreIssue, Index: 1})
+	if !sys.tryPark(0, 1, wake) {
+		t.Fatal("setup: core 0 did not park")
+	}
+
+	var order []event.Class
+	var cores []int32
+	for {
+		root, ok := sys.cal.MinIndexed()
+		if !ok {
+			break
+		}
+		if root.Time != wake {
+			t.Fatalf("event %+v not at the collision timestamp %d", root, wake)
+		}
+		sys.cal.DropIndexedMin()
+		order = append(order, root.Class)
+		if root.Class == event.ClassBankExpiry {
+			sys.wakeBank(root.Index)
+			continue
+		}
+		cores = append(cores, root.Index)
+	}
+	wantOrder := []event.Class{event.ClassBankExpiry, event.ClassCoreIssue, event.ClassCoreIssue}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Fatalf("service order = %v, want %v (park-then-wake)", order, wantOrder)
+	}
+	if want := []int32{0, 1}; !reflect.DeepEqual(cores, want) {
+		t.Fatalf("issue order = %v, want %v (woken core is in the heap before the equal-time issue)", cores, want)
+	}
+}

@@ -23,6 +23,7 @@ package tracker
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/dram"
 )
@@ -42,38 +43,57 @@ type Tracker interface {
 	Name() string
 }
 
-// entry is one Misra-Gries table slot.
+// entry is one Misra-Gries table slot as the eviction heap sees it. The
+// count here is a *lazily maintained lower bound* on the row's true count
+// in MisraGries.cnt: the hot path increments cnt without touching the
+// heap, and ensureMin refreshes keys only when an eviction decision needs
+// the true minimum.
 type entry struct {
 	row   dram.Row
 	count int64
 }
 
 // MisraGries is a per-bank Misra-Gries (Graphene-style) tracker. Each bank
-// owns a small table of (row, counter) pairs organised as a min-heap on the
-// counter, plus a spill counter. The Misra-Gries invariant — every row's
-// estimated count is at least its true count — guarantees that any row
-// activated `threshold` times in an epoch is flagged, provided the table
-// has at least ACTmax/threshold entries per bank.
+// owns a small table of (row, counter) pairs plus a spill counter. The
+// Misra-Gries invariant — every row's estimated count is at least its true
+// count — guarantees that any row activated `threshold` times in an epoch
+// is flagged, provided the table has at least ACTmax/threshold entries per
+// bank.
 //
 // Faithful quirk: a newly installed row inherits the spill counter value,
 // so its estimated count starts above its true count; sufficiently active
 // banks therefore trigger occasional *spurious* mitigations exactly as the
 // paper reports for workloads like imagick (Section IV-F).
+//
+// Layout: the authoritative counts live in the dense cnt array (one probe
+// per RecordACT on the already-tracked fast path — the common case, since
+// hot rows stay tracked). Each bank's heap orders entries by a stale
+// (count, row) key that is a lower bound on the true count; keys are
+// refreshed top-down only when the full-table install path needs the true
+// minimum. Deferring the per-hit sift-down this way keeps the eviction
+// victim *identical* to an eagerly-maintained heap: counts only grow, so
+// a stale key never overtakes a true one, and the refreshed root is the
+// unique true minimum (rows break count ties, and no two entries share a
+// row).
 type MisraGries struct {
 	geom      dram.Geometry
 	threshold int64
 	capacity  int
 	banks     []mgBank
-	// pos is the dense row -> heap-position index shared by all banks
-	// (each row belongs to exactly one bank), -1 when untracked. A flat
-	// array keyed by Row replaces the per-bank hash map: RecordACT runs
-	// once per activation, and the array probe is branch-predictable and
-	// allocation-free where the map was neither.
-	pos []int32
+	// cnt is the dense row -> estimated-count array shared by all banks
+	// (each row belongs to exactly one bank); 0 means untracked (a tracked
+	// entry's count is always >= 1, so 0 is a sound sentinel). This is the
+	// single probe of the RecordACT fast path. int32 halves the probe's
+	// cache footprint and cannot overflow: counts reset every epoch, and
+	// an epoch holds at most ~tREFW/tRC ~ 1.4M activations per bank, far
+	// below 2^31.
+	cnt []int32
+	// thr is the precomputed divide-free divisibility test for threshold.
+	thr multiple
 }
 
 type mgBank struct {
-	heap  []entry // min-heap on count
+	heap  []entry // min-heap on the stale (count, row) lower bounds
 	spill int64
 }
 
@@ -93,10 +113,8 @@ func NewMisraGries(geom dram.Geometry, threshold int64, entriesPerBank int) *Mis
 		threshold: threshold,
 		capacity:  entriesPerBank,
 		banks:     make([]mgBank, geom.Banks),
-		pos:       make([]int32, geom.Rows()),
-	}
-	for i := range t.pos {
-		t.pos[i] = -1
+		cnt:       make([]int32, geom.Rows()),
+		thr:       newMultiple(threshold),
 	}
 	for i := range t.banks {
 		t.banks[i] = mgBank{heap: make([]entry, 0, entriesPerBank)}
@@ -104,12 +122,44 @@ func NewMisraGries(geom dram.Geometry, threshold int64, entriesPerBank int) *Mis
 	return t
 }
 
-// heap helpers: min-heap ordered by (count, row) with the dense index kept
-// in sync. The row id breaks count ties so the eviction victim is a
-// canonical function of the table contents — without it, which of several
-// minimum-count entries sat at the root depended on insertion history,
-// and a future refactor of the install path could silently change every
-// downstream figure.
+// multiple tests divisibility by a fixed positive divisor without a
+// hardware divide, which RecordACT would otherwise pay on every
+// activation. Write d = 2^shift * odd: x is a multiple of d exactly when
+// its low `shift` bits are zero and (x>>shift) * inverse(odd) (mod 2^64)
+// lands in [0, floor((2^64-1)/odd)] — the Granlund-Montgomery/Lemire
+// divisibility test (multiplication by the odd inverse permutes residues
+// and maps exactly the multiples into that range).
+type multiple struct {
+	shift uint
+	inv   uint64 // multiplicative inverse of d>>shift modulo 2^64
+	lim   uint64 // floor((2^64-1) / (d>>shift))
+}
+
+func newMultiple(d int64) multiple {
+	u := uint64(d)
+	shift := uint(bits.TrailingZeros64(u))
+	odd := u >> shift
+	// Newton iteration for the odd inverse mod 2^64: x0 = odd is correct
+	// to 3 bits (odd^2 = 1 mod 8), and each step doubles the correct
+	// low-bit count, so 5 steps reach >= 64 bits.
+	inv := odd
+	for i := 0; i < 5; i++ {
+		inv *= 2 - odd*inv
+	}
+	return multiple{shift: shift, inv: inv, lim: ^uint64(0) / odd}
+}
+
+// of reports whether x (>= 0) is a multiple of the divisor.
+func (m multiple) of(x int64) bool {
+	u := uint64(x)
+	return u&(1<<m.shift-1) == 0 && (u>>m.shift)*m.inv <= m.lim
+}
+
+// heap helpers: min-heap ordered by (count, row). The row id breaks count
+// ties so the eviction victim is a canonical function of the table
+// contents — without it, which of several minimum-count entries sat at
+// the root depended on insertion history, and a future refactor of the
+// install path could silently change every downstream figure.
 
 func (b *mgBank) less(i, j int) bool {
 	if b.heap[i].count != b.heap[j].count {
@@ -118,24 +168,20 @@ func (b *mgBank) less(i, j int) bool {
 	return b.heap[i].row < b.heap[j].row
 }
 
-func (t *MisraGries) swap(b *mgBank, i, j int) {
-	b.heap[i], b.heap[j] = b.heap[j], b.heap[i]
-	t.pos[b.heap[i].row] = int32(i)
-	t.pos[b.heap[j].row] = int32(j)
-}
-
-func (t *MisraGries) siftUp(b *mgBank, i int) {
+func (b *mgBank) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !b.less(i, parent) {
 			return
 		}
-		t.swap(b, i, parent)
+		b.heap[i], b.heap[parent] = b.heap[parent], b.heap[i]
 		i = parent
 	}
 }
 
-func (t *MisraGries) siftDown(b *mgBank, i int) {
+// siftDown restores heap order below i and returns the entry's final
+// position (CorruptEntry's recovery needs it).
+func (b *mgBank) siftDown(i int) int {
 	n := len(b.heap)
 	for {
 		left, right := 2*i+1, 2*i+2
@@ -147,10 +193,27 @@ func (t *MisraGries) siftDown(b *mgBank, i int) {
 			smallest = right
 		}
 		if smallest == i {
+			return i
+		}
+		b.heap[i], b.heap[smallest] = b.heap[smallest], b.heap[i]
+		i = smallest
+	}
+}
+
+// ensureMin refreshes the heap root until it carries its true count, at
+// which point it is the bank's true (count, row) minimum: every key is a
+// lower bound, so for any other entry trueKey >= staleKey >= root's key,
+// and distinct rows make the order strict. Each iteration freshens one
+// stale entry, so the loop terminates in at most len(heap) steps; across
+// RecordACT calls the work is bounded by the hit-path sifts it replaced.
+func (t *MisraGries) ensureMin(b *mgBank) {
+	for {
+		true_ := int64(t.cnt[b.heap[0].row])
+		if true_ == b.heap[0].count {
 			return
 		}
-		t.swap(b, i, smallest)
-		i = smallest
+		b.heap[0].count = true_
+		b.siftDown(0)
 	}
 }
 
@@ -174,24 +237,30 @@ func (t *MisraGries) Name() string { return "misra-gries" }
 // Threshold returns the per-epoch flagging threshold.
 func (t *MisraGries) Threshold() int64 { return t.threshold }
 
-// RecordACT implements Tracker.
+// RecordACT implements Tracker. The already-tracked fast path is a single
+// dense-array probe and increment; the heap is not touched (its key for
+// this row goes stale as a lower bound, repaired lazily by ensureMin).
 func (t *MisraGries) RecordACT(row dram.Row) bool {
-	b := &t.banks[t.geom.BankOf(row)]
-	if pos := t.pos[row]; pos >= 0 {
-		e := &b.heap[pos]
-		e.count++
-		newCount := e.count
-		t.siftDown(b, int(pos))
-		return newCount%t.threshold == 0
+	if c := t.cnt[row]; c != 0 {
+		c++
+		t.cnt[row] = c
+		return t.thr.of(int64(c))
 	}
+	return t.install(row)
+}
+
+// install is the untracked-row slow path: claim a free slot, or pump the
+// spill counter and apply Graphene's swap rule against the true minimum.
+func (t *MisraGries) install(row dram.Row) bool {
+	b := &t.banks[t.geom.BankOf(row)]
 	if len(b.heap) < t.capacity {
 		// Free slot: install with the spill counter inherited, which may
 		// immediately cross the threshold (the spurious-mitigation path).
 		c := b.spill + 1
+		t.cnt[row] = int32(c)
 		b.heap = append(b.heap, entry{row: row, count: c})
-		t.pos[row] = int32(len(b.heap) - 1)
-		t.siftUp(b, len(b.heap)-1)
-		return c%t.threshold == 0
+		b.siftUp(len(b.heap) - 1)
+		return t.thr.of(c)
 	}
 	// Table full: bump the spill counter; once it catches up with the
 	// minimum tracked count, the minimum entry and the spill counter
@@ -200,29 +269,33 @@ func (t *MisraGries) RecordACT(row dram.Row) bool {
 	// becomes the new spill value. The exchange keeps the Misra-Gries
 	// sum invariant (sum of counters + spill <= total ACTs + capacity),
 	// which bounds the spill by ~ACTs/capacity and yields the detection
-	// guarantee.
+	// guarantee. The root's stale key is a lower bound, so a spill below
+	// it is below the true minimum too and skips the refresh entirely.
 	b.spill++
 	if b.spill >= b.heap[0].count {
-		evicted := b.heap[0].count
-		t.pos[b.heap[0].row] = -1
-		c := b.spill
-		b.heap[0] = entry{row: row, count: c}
-		t.pos[row] = 0
-		t.siftDown(b, 0)
-		b.spill = evicted
-		return c%t.threshold == 0
+		t.ensureMin(b)
+		if b.spill >= b.heap[0].count {
+			evicted := b.heap[0].count
+			t.cnt[b.heap[0].row] = 0
+			c := b.spill
+			t.cnt[row] = int32(c)
+			b.heap[0] = entry{row: row, count: c}
+			b.siftDown(0)
+			b.spill = evicted
+			return t.thr.of(c)
+		}
 	}
 	return false
 }
 
-// Reset implements Tracker. The dense index is un-marked entry by entry
-// (bounded by table occupancy) rather than wholesale, so a reset costs
-// O(tracked rows), not O(all rows).
+// Reset implements Tracker. The dense count array is un-marked entry by
+// entry (bounded by table occupancy) rather than wholesale, so a reset
+// costs O(tracked rows), not O(all rows).
 func (t *MisraGries) Reset() {
 	for i := range t.banks {
 		b := &t.banks[i]
 		for _, e := range b.heap {
-			t.pos[e.row] = -1
+			t.cnt[e.row] = 0
 		}
 		b.heap = b.heap[:0]
 		b.spill = 0
@@ -231,13 +304,7 @@ func (t *MisraGries) Reset() {
 
 // EstimatedCount returns the tracker's current estimate for a row (0 if
 // untracked); exposed for tests.
-func (t *MisraGries) EstimatedCount(row dram.Row) int64 {
-	b := &t.banks[t.geom.BankOf(row)]
-	if pos := t.pos[row]; pos >= 0 {
-		return b.heap[pos].count
-	}
-	return 0
-}
+func (t *MisraGries) EstimatedCount(row dram.Row) int64 { return int64(t.cnt[row]) }
 
 // Spill returns the current spill counter of the row's bank; exposed for
 // tests of the Misra-Gries invariant.
@@ -246,8 +313,8 @@ func (t *MisraGries) Spill(bank int) int64 { return t.banks[bank].spill }
 // CorruptEntry deliberately corrupts one tracked counter (fault
 // injection): in the chosen bank, the heap entry at index idx (both taken
 // modulo the live sizes so any payload draw maps to a valid target) has
-// its count replaced by newCount, after which the heap is re-heapified
-// around the corrupted value. The *value* is wrong — that is the fault —
+// its count replaced by newCount, after which the heap is re-sifted
+// around the corrupted key. The *value* is wrong — that is the fault —
 // but the structure recovers to a well-formed heap, which
 // CheckConsistency re-verifies. Returns the affected row, or ok=false
 // when the bank tracks nothing yet.
@@ -261,34 +328,41 @@ func (t *MisraGries) CorruptEntry(bank, idx int, newCount int64) (row dram.Row, 
 	}
 	i := idx % len(b.heap)
 	row = b.heap[i].row
+	// The corruption lands on the authoritative count and the heap key
+	// together (the key must stay a lower bound on the count).
+	t.cnt[row] = int32(newCount)
 	b.heap[i].count = newCount
 	// Recovery: restore heap order around the bad value. siftDown handles
-	// an increased count; if the count shrank, siftDown is a no-op and
-	// siftUp (from the entry's possibly-unchanged position) lifts it.
-	t.siftDown(b, i)
-	t.siftUp(b, int(t.pos[row]))
+	// an increased key; if the key shrank, siftDown is a no-op and siftUp
+	// lifts it.
+	if b.siftDown(i) == i {
+		b.siftUp(i)
+	}
 	return row, true
 }
 
 // CheckConsistency verifies the tracker's structural invariants: min-heap
-// order in every bank, the dense row->position index agreeing with the
-// heaps, and counts at least 1. Fault injection calls it after
-// CorruptEntry to prove re-heapification restored a well-formed structure.
+// order on the stale keys in every bank, every key a lower bound on the
+// row's authoritative count, and counts at least 1. Fault injection calls
+// it after CorruptEntry to prove re-sifting restored a well-formed
+// structure.
 func (t *MisraGries) CheckConsistency() error {
 	for bi := range t.banks {
 		b := &t.banks[bi]
 		for i := range b.heap {
-			if p := t.pos[b.heap[i].row]; int(p) != i {
-				return fmt.Errorf("tracker: bank %d row %d at heap[%d] but index says %d", bi, b.heap[i].row, i, p)
+			c := int64(t.cnt[b.heap[i].row])
+			if c < 1 {
+				return fmt.Errorf("tracker: bank %d heap[%d] row %d has count %d < 1", bi, i, b.heap[i].row, c)
+			}
+			if b.heap[i].count > c {
+				return fmt.Errorf("tracker: bank %d heap[%d] key %d exceeds row %d's count %d",
+					bi, i, b.heap[i].count, b.heap[i].row, c)
 			}
 			if i > 0 {
 				if parent := (i - 1) / 2; b.less(i, parent) {
-					return fmt.Errorf("tracker: bank %d heap order violated at %d (count %d under parent %d)",
+					return fmt.Errorf("tracker: bank %d heap order violated at %d (key %d under parent %d)",
 						bi, i, b.heap[i].count, b.heap[parent].count)
 				}
-			}
-			if b.heap[i].count < 1 {
-				return fmt.Errorf("tracker: bank %d heap[%d] has count %d < 1", bi, i, b.heap[i].count)
 			}
 		}
 	}
@@ -297,7 +371,9 @@ func (t *MisraGries) CheckConsistency() error {
 
 // SRAMBytes implements Tracker: per entry one row tag (log2 rowsPerBank
 // bits, rounded up) plus a counter, per bank, matching the ~396KB/rank the
-// paper charges the MG tracker at threshold 500 (Appendix B).
+// paper charges the MG tracker at threshold 500 (Appendix B). The dense
+// count array is a simulator acceleration structure, not hardware state,
+// so it is not charged here.
 func (t *MisraGries) SRAMBytes() int {
 	perEntry := 5 // 21-bit row tag + ~19-bit counter, rounded up to 5 bytes
 	return t.capacity * perEntry * len(t.banks)
@@ -350,20 +426,25 @@ func (t *Exact) SRAMBytes() int { return len(t.counts) * 3 }
 type Hydra struct {
 	threshold  int64
 	groupShift uint // rows per group = 1<<groupShift
-	groups     []int64
+	// groups folds the shared counter and the split seed into one probe:
+	// a non-negative value is the group's shared count (not yet split); a
+	// negative value marks a split group whose seed — the shared count at
+	// split time — is the negation. Every member row's per-row counter is
+	// lazily seeded with it (a sound over-approximation of the row's
+	// pre-split count). The encoding is sound because a shared count and
+	// a seed are both always >= 1 when they matter.
+	groups []int32
 	// split holds the materialized per-row counters as a dense array keyed
 	// by flat Row; 0 means "not yet materialized" (sound as a sentinel:
 	// a materialized counter starts at the split-time group count >= 1 and
-	// only ever increments).
-	split []int64
-	// splitSeed records the group counter value at split time; every
-	// member row's counter is lazily seeded with it (a sound
-	// over-approximation of the row's pre-split count). A zero seed means
-	// the group has not split (a split seed is always >= 1).
-	splitSeed []int64
+	// only ever increments). Like MisraGries.cnt, int32 is safe because
+	// per-epoch counts are physically bounded far below 2^31.
+	split []int32
 	// DRAMLookups counts accesses that had to consult the in-DRAM row
 	// counters (a proxy for Hydra's extra memory traffic).
 	DRAMLookups int64
+	// thr is the precomputed divide-free divisibility test for threshold.
+	thr multiple
 }
 
 // NewHydra builds a Hydra-like tracker. groupSize must be a power of two.
@@ -382,9 +463,9 @@ func NewHydra(geom dram.Geometry, threshold int64, groupSize int) *Hydra {
 	return &Hydra{
 		threshold:  threshold,
 		groupShift: shift,
-		groups:     make([]int64, nGroups),
-		split:      make([]int64, geom.Rows()),
-		splitSeed:  make([]int64, nGroups),
+		groups:     make([]int32, nGroups),
+		split:      make([]int32, geom.Rows()),
+		thr:        newMultiple(threshold),
 	}
 }
 
@@ -398,37 +479,37 @@ func (t *Hydra) groupOf(row dram.Row) uint32 { return uint32(row) >> t.groupShif
 // a row can never reach `threshold` without its group having split first,
 // after which it is tracked with a per-row counter seeded from the group
 // count (est >= true, so a flag always fires at or before the true count
-// reaches the threshold).
+// reaches the threshold). One group-array probe decides both the split
+// state and the seed (see the groups field comment).
 func (t *Hydra) RecordACT(row dram.Row) bool {
 	g := t.groupOf(row)
-	if seed := t.splitSeed[g]; seed > 0 {
-		t.DRAMLookups++
-		c := t.split[row]
-		if c == 0 {
-			c = seed // lazy seeding with the split-time group count
+	gc := t.groups[g]
+	if gc >= 0 {
+		gc++
+		t.groups[g] = gc
+		if int64(gc) >= t.threshold/2 {
+			// Split: per-row counters take over from here.
+			t.groups[g] = -gc
+			t.DRAMLookups++
+			t.split[row] = gc
+			return t.thr.of(int64(gc))
 		}
-		c++
-		t.split[row] = c
-		return c%t.threshold == 0
+		return false
 	}
-	t.groups[g]++
-	if t.groups[g] >= t.threshold/2 {
-		// Split: per-row counters take over from here.
-		t.splitSeed[g] = t.groups[g]
-		t.DRAMLookups++
-		t.split[row] = t.groups[g]
-		return t.split[row]%t.threshold == 0
+	t.DRAMLookups++
+	c := t.split[row]
+	if c == 0 {
+		c = -gc // lazy seeding with the split-time group count
 	}
-	return false
+	c++
+	t.split[row] = c
+	return t.thr.of(int64(c))
 }
 
 // Reset implements Tracker.
 func (t *Hydra) Reset() {
-	for i := range t.groups {
-		t.groups[i] = 0
-	}
+	clear(t.groups)
 	clear(t.split)
-	clear(t.splitSeed)
 	t.DRAMLookups = 0
 }
 

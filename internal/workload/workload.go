@@ -179,7 +179,8 @@ type Generator struct {
 	params Params
 	region Region
 
-	gapInstr   int64 // instructions between requests
+	gapInstr   int64       // instructions between requests
+	gapDraw    rng.Uniform // precomputed [0, gapInstr+1) drawer (hot path)
 	hot        []hotRow
 	cum        []float64 // cumulative weights over hot rows
 	pHot       float64   // probability a request hits the hot set
@@ -208,6 +209,7 @@ func NewGenerator(spec Spec, region Region, coreIdx int, seed uint64, params Par
 	if g.gapInstr < 1 {
 		g.gapInstr = 1
 	}
+	g.gapDraw = rng.NewUniform(uint64(g.gapInstr) + 1)
 
 	r := rng.New(seed ^ hashName(spec.Name) ^ (uint64(coreIdx+1) * 0x9e3779b97f4a7c15))
 
@@ -343,7 +345,7 @@ func (s *stream) Next() (cpu.Request, bool) {
 		}
 	}
 	// Jitter the gap +/-50% around the MPKI-derived mean.
-	gap := g.gapInstr/2 + int64(s.r.Uint64n(uint64(g.gapInstr)+1))
+	gap := g.gapInstr/2 + int64(g.gapDraw.Draw(s.r))
 	return cpu.Request{
 		Row:      row,
 		Write:    s.r.Float64() < g.params.WriteFraction,
