@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke bench-full fault-smoke cache-smoke
+.PHONY: all build lint test race fuzz bench bench-quick bench-json bench-smoke bench-full fault-smoke cache-smoke serve-smoke
 
 all: build lint test
 
@@ -86,6 +86,28 @@ cache-smoke:
 	cmp -s "$$dir/cold.out" "$$dir/warm.out" || { echo "FAIL: warm output differs from cold"; exit 1; }; \
 	test "$$warm_ms" -lt "$$cold_ms" || { echo "FAIL: warm run not faster ($${warm_ms}ms vs $${cold_ms}ms)"; exit 1; }; \
 	echo "cache-smoke OK"
+
+# Experiment-service smoke (see DESIGN.md "Service architecture &
+# failure domains"): two end-to-end acceptance scenarios against real
+# aquaserve processes.
+#   overload — concurrent duplicate golden-grid jobs against a
+#     deliberately tiny queue: submissions shed with 429 + Retry-After,
+#     clients retry with seeded backoff, and every completed job's output
+#     is byte-identical to testdata/lab_golden.txt.
+#   chaos — server A SIGKILLs itself mid-grid holding a compute lease;
+#     server B on the same cache/checkpoint directories must finish the
+#     duplicate job byte-identically via lease expiry + resume.
+serve-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/aquaserve" ./cmd/aquaserve || exit 1; \
+	$(GO) build -o "$$dir/aquaload" ./cmd/aquaload || exit 1; \
+	echo "--- overload: duplicate grids vs a full queue (429 + seeded-backoff retry)"; \
+	"$$dir/aquaload" -mode load -serve-bin "$$dir/aquaserve" -golden testdata/lab_golden.txt \
+		-n 40 -c 16 -expect-shed || { echo "FAIL: load smoke"; exit 1; }; \
+	echo "--- chaos: SIGKILL a worker mid-grid, recover via lease expiry + resume"; \
+	"$$dir/aquaload" -mode chaos -serve-bin "$$dir/aquaserve" -golden testdata/lab_golden.txt \
+		|| { echo "FAIL: chaos smoke"; exit 1; }; \
+	echo "serve-smoke OK"
 
 # Fault-matrix smoke (see DESIGN.md "Failure model & graceful
 # degradation"): an injected panicking cell must not abort the run — the

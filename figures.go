@@ -47,6 +47,11 @@ type LabOptions struct {
 	// it is done; figure calls then return its error. Nil means
 	// context.Background().
 	Context context.Context
+	// OnCellStart, when set, observes the start of every cell compute
+	// attempt (cells served from caches never fire it). The experiment
+	// farm hooks it for harness-level fault injection; it must not mutate
+	// anything the simulation reads.
+	OnCellStart func(workload string, scheme Scheme, trh int64)
 }
 
 // AllWorkloads returns all 34 case names (18 SPEC + 16 mixes).
@@ -99,11 +104,12 @@ func NewLab(opts LabOptions) *Lab {
 		opts: opts,
 		ctx:  ctx,
 		runner: sim.NewRunner(sim.ExpConfig{
-			Window:    opts.Window,
-			Seed:      opts.Seed,
-			Calibrate: !opts.NoCalibration,
-			Parallel:  opts.Parallel,
-			Faults:    opts.Faults,
+			Window:      opts.Window,
+			Seed:        opts.Seed,
+			Calibrate:   !opts.NoCalibration,
+			Parallel:    opts.Parallel,
+			Faults:      opts.Faults,
+			OnCellStart: opts.OnCellStart,
 		}),
 		cache: make(map[labKey]sim.WorkloadRun),
 	}
@@ -131,6 +137,12 @@ func (l *Lab) CloseCheckpoint() error { return l.runner.CloseCheckpoint() }
 // changed option simply misses. Fault-injected and cancelled cells never
 // enter the store.
 func (l *Lab) AttachCache(s *cellcache.Store) { l.runner.AttachCellCache(s) }
+
+// AttachLeaser attaches a cross-process compute coordinator to the lab's
+// runner (effective only alongside AttachCache; see sim.CellLeaser). The
+// farm uses it so two servers sharing a cache directory compute each
+// missed cell once between them.
+func (l *Lab) AttachLeaser(cl sim.CellLeaser) { l.runner.AttachLeaser(cl) }
 
 // CellStats reports how the lab's cell requests were satisfied: cache
 // hits/misses, deduplicated requests, and real simulations.

@@ -25,49 +25,17 @@ import (
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
 
-// goldenRenderers lists every simulation-backed renderer, in a fixed
-// order, so the golden file covers each table shape exactly once.
-func goldenRenderers() []struct {
-	name string
-	fn   func(*Lab) (string, error)
-} {
-	return []struct {
-		name string
-		fn   func(*Lab) (string, error)
-	}{
-		{"table2", (*Lab).Table2},
-		{"figure3", (*Lab).Figure3},
-		{"figure6", (*Lab).Figure6},
-		{"figure7", (*Lab).Figure7},
-		{"figure9", (*Lab).Figure9},
-		{"figure10", (*Lab).Figure10},
-		{"figure11", (*Lab).Figure11},
-		{"table4", (*Lab).Table4},
-		{"table6", (*Lab).Table6},
-		{"section5f", (*Lab).SensitivityVF},
-		{"section5h", (*Lab).PowerReport},
-	}
-}
-
 // renderGolden produces the concatenated renderer output for the reduced
 // serial lab.
 func renderGolden() (string, error) {
 	return renderGoldenLab(labAt(1))
 }
 
-// renderGoldenLab renders every golden renderer on the given lab in the
-// canonical order (shared with the checkpoint/resume acceptance tests,
-// which must reproduce this byte stream from a resumed lab).
+// renderGoldenLab renders every registry renderer (render.go — shared
+// with the experiment farm and the checkpoint/resume acceptance tests,
+// which must reproduce this byte stream) on the given lab.
 func renderGoldenLab(l *Lab) (string, error) {
-	var b strings.Builder
-	for _, r := range goldenRenderers() {
-		out, err := r.fn(l)
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", r.name, err)
-		}
-		fmt.Fprintf(&b, "=== %s ===\n%s\n", r.name, out)
-	}
-	return b.String(), nil
+	return RenderAll(l)
 }
 
 func TestLabGolden(t *testing.T) {

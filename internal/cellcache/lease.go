@@ -1,0 +1,260 @@
+// Lease/claim entries: cross-process work deduplication for the disk
+// tier. A lease is a small sidecar file (`<key>.lease`) claiming "owner O
+// is computing this cell until expiry E". Concurrent jobs — in one
+// process or across processes sharing a cache directory — Claim before
+// simulating a missed cell; the loser waits and re-polls the store
+// instead of duplicating a multi-second simulation.
+//
+// Leases are an optimization, never a correctness gate: the algorithm
+// has a benign cross-process race (remove-then-recreate on reclaim is
+// not atomic), and the worst outcome of losing the race is one cell
+// computed twice, each landing the identical content-addressed entry.
+// What leases must guarantee — and do — is liveness: a lease held by a
+// crashed worker expires at its deadline and is *reclaimed* by the next
+// claimant, so a SIGKILL mid-grid never wedges a job. Torn lease files
+// (a writer died mid-write) are treated exactly like expired ones.
+//
+// The package stays clock-free: callers pass `now` explicitly (the farm
+// injects its clock; tests pass fake instants), in the same spirit as
+// the simulator's picosecond timestamps. Times are int64 with a
+// caller-chosen epoch and unit — both sides of a shared cache directory
+// must agree (the farm uses Unix nanoseconds).
+package cellcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// leaseVersion heads every lease file. `<key>.lease` cannot collide with
+// an entry file because validKey rejects '.' in keys.
+const leaseVersion = "aqua-lease-v1"
+
+// LeaseStats counts lease-protocol outcomes.
+type LeaseStats struct {
+	// Claims is the number of successful acquisitions (including renewals
+	// by the current holder).
+	Claims int64
+	// Conflicts counts Claim calls that lost to a live lease held by
+	// another owner.
+	Conflicts int64
+	// Reclaimed counts expired or torn leases that a claimant removed —
+	// the crash-recovery path.
+	Reclaimed int64
+	// Released counts explicit releases by the holder.
+	Released int64
+}
+
+// lease is one decoded claim.
+type lease struct {
+	owner  string
+	expiry int64
+}
+
+// Claim tries to acquire the compute lease for key on behalf of owner,
+// valid until now+ttl. It returns (true, owner) when acquired or renewed
+// and (false, holder) when another owner holds a live lease. A nil
+// store, invalid key/owner, or non-positive ttl grants the claim without
+// coordination — the caller may always fall back to computing.
+//
+// Owners must satisfy the same charset as keys (letters, digits, '-',
+// '_'): the farm uses "<serverID>_<jobID>" so every job execution is a
+// distinct owner and in-process duplicates also dedupe through leases.
+//
+//detertaint:root
+func (s *Store) Claim(key, owner string, now, ttl int64) (bool, string) {
+	if s == nil || !validKey(key) || !validKey(owner) || ttl <= 0 {
+		return true, owner
+	}
+	if s.dir == "" {
+		return s.claimMem(key, owner, now, ttl)
+	}
+	return s.claimDisk(key, owner, now, ttl)
+}
+
+// claimMem is the in-memory protocol for stores without a disk tier:
+// same semantics, map instead of files.
+func (s *Store) claimMem(key, owner string, now, ttl int64) (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.leases == nil {
+		s.leases = make(map[string]lease)
+	}
+	if l, ok := s.leases[key]; ok && l.owner != owner {
+		if l.expiry > now {
+			s.lstats.Conflicts++
+			return false, l.owner
+		}
+		s.lstats.Reclaimed++
+	}
+	s.leases[key] = lease{owner: owner, expiry: now + ttl}
+	s.lstats.Claims++
+	return true, owner
+}
+
+// claimDisk is the cross-process protocol: O_EXCL creation wins the
+// lease; losers inspect the holder and either renew (same owner), back
+// off (live foreign lease), or reclaim (expired/torn) and retry once.
+func (s *Store) claimDisk(key, owner string, now, ttl int64) (bool, string) {
+	path := filepath.Join(s.dir, key+".lease")
+	expiry := now + ttl
+	for attempt := 0; attempt < 2; attempt++ {
+		if createLeaseExcl(path, owner, expiry) {
+			s.countLease(func(ls *LeaseStats) { ls.Claims++ })
+			return true, owner
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			// The file vanished between the failed create and the read
+			// (holder released, or a reclaimer got there first) — retry.
+			continue
+		}
+		l, valid := decodeLease(raw)
+		if valid && l.owner == owner {
+			// Renewal: the atomic rewrite keeps readers from ever seeing
+			// a torn lease we authored.
+			if err := writeLeaseAtomic(s.dir, path, owner, expiry); err == nil {
+				s.countLease(func(ls *LeaseStats) { ls.Claims++ })
+				return true, owner
+			}
+			return false, owner
+		}
+		if valid && l.expiry > now {
+			s.countLease(func(ls *LeaseStats) { ls.Conflicts++ })
+			return false, l.owner
+		}
+		// Expired or torn: reclaim and loop back to the O_EXCL create.
+		os.Remove(path)
+		s.countLease(func(ls *LeaseStats) { ls.Reclaimed++ })
+	}
+	s.countLease(func(ls *LeaseStats) { ls.Conflicts++ })
+	return false, ""
+}
+
+// Release drops the lease for key if owner still holds it. Releasing a
+// lease you lost (expired and reclaimed by someone else) is a no-op, so
+// the call is always safe in a defer.
+//
+//detertaint:root
+func (s *Store) Release(key, owner string) {
+	if s == nil || !validKey(key) || !validKey(owner) {
+		return
+	}
+	if s.dir == "" {
+		s.mu.Lock()
+		if l, ok := s.leases[key]; ok && l.owner == owner {
+			delete(s.leases, key)
+			s.lstats.Released++
+		}
+		s.mu.Unlock()
+		return
+	}
+	path := filepath.Join(s.dir, key+".lease")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	if l, valid := decodeLease(raw); valid && l.owner == owner {
+		if os.Remove(path) == nil {
+			s.countLease(func(ls *LeaseStats) { ls.Released++ })
+		}
+	}
+}
+
+// LeaseStats returns a snapshot of the lease counters.
+func (s *Store) LeaseStats() LeaseStats {
+	if s == nil {
+		return LeaseStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lstats
+}
+
+func (s *Store) countLease(f func(*LeaseStats)) {
+	s.mu.Lock()
+	f(&s.lstats)
+	s.mu.Unlock()
+}
+
+// createLeaseExcl attempts the winning move: create the lease file
+// exclusively and land its content. Any failure after creation removes
+// the file so a half-written lease we authored never lingers (a crash
+// between write and remove leaves a torn file, which later claimants
+// treat as reclaimable).
+func createLeaseExcl(path, owner string, expiry int64) bool {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return false
+	}
+	if _, err := f.WriteString(encodeLease(owner, expiry)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return false
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return false
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return false
+	}
+	return true
+}
+
+// writeLeaseAtomic renews a held lease via the entry tier's temp + fsync
+// + rename discipline.
+func writeLeaseAtomic(dir, path, owner string, expiry int64) error {
+	f, err := os.CreateTemp(dir, "tmp-lease-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.WriteString(encodeLease(owner, expiry)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// encodeLease frames one lease: "aqua-lease-v1 <owner> <expiry>\n".
+func encodeLease(owner string, expiry int64) string {
+	return fmt.Sprintf("%s %s %d\n", leaseVersion, owner, expiry)
+}
+
+// decodeLease validates the framing. A torn or foreign file decodes as
+// invalid, which claimants treat as reclaimable.
+func decodeLease(raw []byte) (lease, bool) {
+	text := string(raw)
+	if !strings.HasSuffix(text, "\n") {
+		return lease{}, false
+	}
+	fields := strings.Fields(text)
+	if len(fields) != 3 || fields[0] != leaseVersion || !validKey(fields[1]) {
+		return lease{}, false
+	}
+	expiry, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return lease{}, false
+	}
+	return lease{owner: fields[1], expiry: expiry}, true
+}

@@ -1,0 +1,217 @@
+package cellcache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMemLeaseClaimConflictExpiry(t *testing.T) {
+	s, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, holder := s.Claim("cell1", "jobA", 100, 50)
+	if !ok || holder != "jobA" {
+		t.Fatalf("first claim: ok=%v holder=%q", ok, holder)
+	}
+	// A live lease blocks a different owner and names the holder.
+	ok, holder = s.Claim("cell1", "jobB", 120, 50)
+	if ok || holder != "jobA" {
+		t.Fatalf("conflicting claim: ok=%v holder=%q", ok, holder)
+	}
+	// The holder renews freely.
+	if ok, _ := s.Claim("cell1", "jobA", 130, 50); !ok {
+		t.Fatal("holder renewal denied")
+	}
+	// Past expiry (now renewed to 130+50=180) the lease is reclaimed.
+	ok, holder = s.Claim("cell1", "jobB", 180, 50)
+	if !ok || holder != "jobB" {
+		t.Fatalf("expired lease not reclaimed: ok=%v holder=%q", ok, holder)
+	}
+	st := s.LeaseStats()
+	if st.Claims != 3 || st.Conflicts != 1 || st.Reclaimed != 1 {
+		t.Fatalf("stats = %+v, want 3 claims, 1 conflict, 1 reclaim", st)
+	}
+}
+
+func TestMemLeaseRelease(t *testing.T) {
+	s, _ := New("")
+	s.Claim("cell1", "jobA", 0, 100)
+	// A non-holder release is a no-op.
+	s.Release("cell1", "jobB")
+	if ok, _ := s.Claim("cell1", "jobB", 1, 100); ok {
+		t.Fatal("foreign Release dropped a held lease")
+	}
+	s.Release("cell1", "jobA")
+	if ok, _ := s.Claim("cell1", "jobB", 2, 100); !ok {
+		t.Fatal("released lease not claimable")
+	}
+	if st := s.LeaseStats(); st.Released != 1 {
+		t.Fatalf("stats = %+v, want 1 release", st)
+	}
+}
+
+func TestDiskLeaseCrossStore(t *testing.T) {
+	dir := t.TempDir()
+	a, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(dir) // second store on the same dir = second process
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := a.Claim("cell1", "serveA_job1", 1000, 500); !ok {
+		t.Fatal("first disk claim denied")
+	}
+	ok, holder := b.Claim("cell1", "serveB_job2", 1100, 500)
+	if ok || holder != "serveA_job1" {
+		t.Fatalf("cross-store conflict: ok=%v holder=%q", ok, holder)
+	}
+	// The crashed holder never releases; past expiry B reclaims.
+	ok, holder = b.Claim("cell1", "serveB_job2", 1600, 500)
+	if !ok || holder != "serveB_job2" {
+		t.Fatalf("expired disk lease not reclaimed: ok=%v holder=%q", ok, holder)
+	}
+	if st := b.LeaseStats(); st.Reclaimed != 1 || st.Conflicts != 1 {
+		t.Fatalf("B stats = %+v, want 1 reclaim, 1 conflict", st)
+	}
+	// Release removes the file; a fresh claim by anyone succeeds.
+	b.Release("cell1", "serveB_job2")
+	if _, err := os.Stat(filepath.Join(dir, "cell1.lease")); !os.IsNotExist(err) {
+		t.Fatal("Release left the lease file behind")
+	}
+	if ok, _ := a.Claim("cell1", "serveA_job3", 1700, 500); !ok {
+		t.Fatal("claim after release denied")
+	}
+}
+
+func TestDiskLeaseRenewalByHolder(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := New(dir)
+	if ok, _ := s.Claim("cell1", "jobA", 0, 100); !ok {
+		t.Fatal("claim denied")
+	}
+	// Renewal pushes expiry out: at now=150 a 0+100 lease would be dead,
+	// but the holder renewed at 90 for 100 more.
+	if ok, _ := s.Claim("cell1", "jobA", 90, 100); !ok {
+		t.Fatal("renewal denied")
+	}
+	if ok, holder := s.Claim("cell1", "jobB", 150, 100); ok || holder != "jobA" {
+		t.Fatalf("renewed lease not honoured: ok=%v holder=%q", ok, holder)
+	}
+}
+
+// TestCrashMidWrite is the crash-hardening scenario from the issue: a
+// worker is killed mid-write leaving (a) an orphaned temp file, (b) a
+// torn entry written without the atomic rename discipline, and (c) a
+// stale lease. The store must read the torn entry as a miss, never serve
+// the temp file, and let the next claimant reclaim the lease.
+func TestCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	crashed, _ := New(dir)
+
+	// (a) Orphaned temp file from a write that never reached rename.
+	if err := os.WriteFile(filepath.Join(dir, "tmp-crash123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// (b) A torn entry: valid header promised, payload truncated as if
+	// the process died between write and fsync on a non-atomic path.
+	full := encodeEntry([]byte("the full payload bytes"))
+	if err := os.WriteFile(filepath.Join(dir, "cellX"), full[:len(full)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// (c) A stale lease from the dead worker, plus a torn lease on a
+	// second cell (killed mid-lease-write).
+	if ok, _ := crashed.Claim("cellX", "deadworker_job1", 1000, 500); !ok {
+		t.Fatal("setup claim denied")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cellY.lease"), []byte("aqua-lease-v1 deadwo"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store (the surviving worker) sees misses, not corruption
+	// escapes, and reclaims both leases.
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("cellX"); ok {
+		t.Fatalf("torn entry served as a hit: %q", v)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want the torn entry counted corrupt", st)
+	}
+	// Stale lease: live until 1500, reclaimed after.
+	if ok, holder := s.Claim("cellX", "survivor_job2", 1400, 500); ok || holder != "deadworker_job1" {
+		t.Fatalf("stale-but-live lease: ok=%v holder=%q", ok, holder)
+	}
+	if ok, _ := s.Claim("cellX", "survivor_job2", 1501, 500); !ok {
+		t.Fatal("expired stale lease not reclaimed")
+	}
+	// Torn lease: reclaimable immediately regardless of clock.
+	if ok, _ := s.Claim("cellY", "survivor_job2", 0, 500); !ok {
+		t.Fatal("torn lease not reclaimed")
+	}
+	if st := s.LeaseStats(); st.Reclaimed != 2 {
+		t.Fatalf("lease stats = %+v, want 2 reclaims", st)
+	}
+	// The survivor recomputes and lands the entry atomically; the store
+	// now serves it even though the torn file had the same name.
+	s.Put("cellX", []byte("recomputed"))
+	fresh, _ := New(dir)
+	if v, ok := fresh.Get("cellX"); !ok || string(v) != "recomputed" {
+		t.Fatalf("recomputed entry not served: %q, %v", v, ok)
+	}
+}
+
+func TestLeaseNilStoreAndBadInputs(t *testing.T) {
+	var s *Store
+	if ok, _ := s.Claim("k", "o", 0, 10); !ok {
+		t.Fatal("nil store must grant claims (no coordination available)")
+	}
+	s.Release("k", "o")
+	if s.LeaseStats() != (LeaseStats{}) {
+		t.Fatal("nil store stats non-zero")
+	}
+	real, _ := New("")
+	// Invalid key or owner (would escape the dir / break framing) grants
+	// without recording.
+	for _, c := range []struct{ key, owner string }{
+		{"../escape", "o"}, {"k", "bad owner"}, {"k", ""}, {"", "o"},
+	} {
+		if ok, _ := real.Claim(c.key, c.owner, 0, 10); !ok {
+			t.Fatalf("Claim(%q,%q) denied, want uncoordinated grant", c.key, c.owner)
+		}
+	}
+	if ok, _ := real.Claim("k", "o", 0, 0); !ok {
+		t.Fatal("non-positive ttl must grant uncoordinated")
+	}
+	if st := real.LeaseStats(); st != (LeaseStats{}) {
+		t.Fatalf("uncoordinated grants recorded stats: %+v", st)
+	}
+}
+
+func TestLeaseDecodeRejectsTornAndForeign(t *testing.T) {
+	good := encodeLease("jobA", 42)
+	if l, ok := decodeLease([]byte(good)); !ok || l.owner != "jobA" || l.expiry != 42 {
+		t.Fatalf("round trip failed: %+v %v", l, ok)
+	}
+	bad := []string{
+		"",
+		"aqua-lease-v1 jobA",              // no newline (torn)
+		strings.TrimSuffix(good, "\n"),    // same, via the encoder
+		"aqua-lease-v2 jobA 42\n",         // wrong version
+		"aqua-lease-v1 jobA\n",            // missing expiry
+		"aqua-lease-v1 jobA notanum\n",    // bad expiry
+		"aqua-lease-v1 bad owner 42\n",    // owner with space splits wrong
+		"aqua-cellcache-v1 sha256=x 42\n", // entry header, not a lease
+	}
+	for _, b := range bad {
+		if _, ok := decodeLease([]byte(b)); ok {
+			t.Fatalf("decodeLease(%q) accepted a torn/foreign lease", b)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs             submit a JobSpec -> 202 {id,key,state}
+//	                       429 + Retry-After when the queue sheds
+//	                       503 + Retry-After while draining
+//	GET  /jobs/{id}        JobStatus JSON
+//	GET  /jobs/{id}/output rendered sections, text/plain
+//	GET  /healthz          process liveness (always 200 while serving)
+//	GET  /readyz           admission readiness (503 while draining)
+//	GET  /stats            StatsSnapshot JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/output", s.handleOutput)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// submitResponse acknowledges an accepted job.
+type submitResponse struct {
+	ID    string   `json:"id"`
+	Key   string   `json:"key"`
+	State JobState `json:"state"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone; nothing useful to do
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Admission control: shed with a backoff hint instead of queueing
+		// unboundedly. Clients (aquaload) honor Retry-After with their own
+		// seeded jitter on top.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: job.ID, Key: job.Key, State: job.State()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	st := job.State()
+	if st == JobQueued || st == JobRunning {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job %s still %s", job.ID, st)})
+		return
+	}
+	out := job.Output()
+	if out == "" {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("job %s (%s) produced no output", job.ID, st)})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if st != JobDone {
+		// Partial or cancelled output is still served — graceful
+		// degradation — but flagged so clients don't mistake it for the
+		// full grid.
+		w.Header().Set("X-Aqua-Partial", string(st))
+	} else if len(job.Status().Failures) > 0 {
+		w.Header().Set("X-Aqua-Partial", "degraded")
+	}
+	_, _ = w.Write([]byte(out))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,62 @@
+package farm
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cellcache"
+)
+
+// storeLeaser adapts cellcache's clock-free lease primitives to
+// sim.CellLeaser for one job execution: it supplies the owner identity,
+// the injected clock, and the wait strategy (seeded backoff polling).
+// One leaser per job — the owner is "<serverID>_<jobID>", so duplicate
+// jobs inside one server are distinct owners and dedupe through leases
+// exactly like jobs in different processes.
+type storeLeaser struct {
+	store *cellcache.Store
+	owner string
+	ttl   time.Duration
+	clock Clock
+	seed  uint64
+
+	mu      sync.Mutex
+	waiters map[string]*Backoff // guarded by mu (per-key wait schedule)
+}
+
+func newStoreLeaser(store *cellcache.Store, owner string, ttl time.Duration, clock Clock, seed uint64) *storeLeaser {
+	return &storeLeaser{
+		store:   store,
+		owner:   owner,
+		ttl:     ttl,
+		clock:   clock,
+		seed:    seed,
+		waiters: make(map[string]*Backoff),
+	}
+}
+
+// Claim implements sim.CellLeaser via the store's lease files (or its
+// in-memory lease map when the store has no directory).
+func (l *storeLeaser) Claim(key string) bool {
+	ok, _ := l.store.Claim(key, l.owner, l.clock.Now().UnixNano(), l.ttl.Nanoseconds())
+	return ok
+}
+
+// Wait sleeps one backoff step for this key. The schedule is per-key and
+// seeded by (seed, owner, key): deterministic for tests, decorrelated
+// across jobs so lease-expiry wakeups don't stampede the store.
+func (l *storeLeaser) Wait(ctx context.Context, key string) error {
+	l.mu.Lock()
+	b, ok := l.waiters[key]
+	if !ok {
+		b = NewBackoff(l.seed, l.owner+"/"+key, l.ttl/16, l.ttl/2)
+		l.waiters[key] = b
+	}
+	d := b.Next()
+	l.mu.Unlock()
+	return l.clock.Sleep(ctx, d)
+}
+
+// Release implements sim.CellLeaser.
+func (l *storeLeaser) Release(key string) { l.store.Release(key, l.owner) }

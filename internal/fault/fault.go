@@ -62,6 +62,14 @@ const (
 	// CellTransient is an experiment-engine fault: the grid cell fails
 	// with a transient (retryable) error that clears on the next attempt.
 	CellTransient
+	// WorkerKill is a harness-level fault consumed by the experiment farm
+	// (internal/farm), never by the simulator: when it fires at a cell-start
+	// opportunity the worker process is SIGKILLed mid-grid, exercising lease
+	// expiry and checkpoint handoff. The farm strips WorkerKill arms out of
+	// the rules before handing them to the sim layer (Rules.WithoutKind), so
+	// a kill rule does not put matched cells onto the cache-bypassing fault
+	// path.
+	WorkerKill
 
 	// NumKinds bounds the enum for per-kind arrays.
 	NumKinds
@@ -78,6 +86,7 @@ var kindNames = [NumKinds]string{
 	TrackerCorrupt:   "tracker-corrupt",
 	CellPanic:        "panic",
 	CellTransient:    "transient",
+	WorkerKill:       "worker-kill",
 }
 
 // String returns the rules-grammar name of the kind.

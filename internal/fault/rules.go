@@ -152,6 +152,49 @@ func (r *Rules) String() string {
 	return r.spec
 }
 
+// KindPlan collects every arm of kind k across all rules, ignoring the
+// cell patterns. Harness-level kinds (WorkerKill) are keyed on process
+// opportunities — cell-start ordinals — not on grid cells, so the farm
+// consumes them whole; the conventional spelling is `*/*/*=worker-kill@...`.
+// A nil *Rules returns the empty plan.
+func (r *Rules) KindPlan(k Kind) Plan {
+	if r == nil {
+		return Plan{}
+	}
+	var p Plan
+	for _, ru := range r.rules {
+		if ru.arm.Kind == k {
+			p.Arms = append(p.Arms, ru.arm)
+		}
+	}
+	return p
+}
+
+// WithoutKind returns a copy of the rules with every arm of kind k
+// removed, or nil when nothing remains. The farm uses it to strip its
+// harness-level kinds before handing the rules to the sim layer, so a
+// worker-kill rule never forces matched cells onto the cache-bypassing
+// fault path.
+func (r *Rules) WithoutKind(k Kind) *Rules {
+	if r == nil {
+		return nil
+	}
+	out := &Rules{}
+	var canon []string
+	for _, ru := range r.rules {
+		if ru.arm.Kind == k {
+			continue
+		}
+		out.rules = append(out.rules, ru)
+		canon = append(canon, ru.String())
+	}
+	if len(out.rules) == 0 {
+		return nil
+	}
+	out.spec = strings.Join(canon, ";")
+	return out
+}
+
 // PlanFor collects the arms whose cell patterns match (workload, scheme,
 // trh). A nil *Rules returns the empty plan.
 func (r *Rules) PlanFor(workload, scheme string, trh int64) Plan {

@@ -3,6 +3,10 @@ package flight
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -350,16 +354,60 @@ type transientErr struct{ msg string }
 func (e transientErr) Error() string   { return e.msg }
 func (e transientErr) Transient() bool { return true }
 
+// permanentErr carries an explicit Transient() == false marker wrapping
+// an inner error, pinning the chain as non-retryable.
+type permanentErr struct{ err error }
+
+func (e permanentErr) Error() string   { return "permanent: " + e.err.Error() }
+func (e permanentErr) Unwrap() error   { return e.err }
+func (e permanentErr) Transient() bool { return false }
+
+// fakeNetErr implements net.Error with a configurable Timeout answer.
+type fakeNetErr struct{ timeout bool }
+
+func (e fakeNetErr) Error() string   { return "fake net error" }
+func (e fakeNetErr) Timeout() bool   { return e.timeout }
+func (e fakeNetErr) Temporary() bool { return false }
+
 func TestIsTransient(t *testing.T) {
-	if IsTransient(nil) || IsTransient(errors.New("plain")) {
-		t.Fatal("non-transient errors classified as transient")
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("plain"), false},
+		{"marker", transientErr{"flaky"}, true},
+		{"marker joined", errors.Join(errors.New("context"), transientErr{"flaky"}), true},
+		{"marker wrapped", fmt.Errorf("cell: %w", transientErr{"flaky"}), true},
+
+		// net.Error classification: timeouts retry, other net errors do not.
+		{"net timeout", fakeNetErr{timeout: true}, true},
+		{"net timeout wrapped", fmt.Errorf("round trip: %w", fakeNetErr{timeout: true}), true},
+		{"net non-timeout", fakeNetErr{timeout: false}, false},
+		{"op error timeout", &net.OpError{Op: "read", Err: os.ErrDeadlineExceeded}, true},
+
+		// Wrapped I/O: torn reads and expired I/O deadlines retry.
+		{"unexpected EOF", io.ErrUnexpectedEOF, true},
+		{"unexpected EOF wrapped", fmt.Errorf("decode header: %w", io.ErrUnexpectedEOF), true},
+		{"io deadline wrapped", fmt.Errorf("conn read: %w", os.ErrDeadlineExceeded), true},
+		{"plain EOF", io.EOF, false},
+
+		// Cancellation is the caller giving up, never retried — even
+		// though context.DeadlineExceeded itself answers Timeout() true.
+		{"ctx canceled", context.Canceled, false},
+		{"ctx deadline", fmt.Errorf("job: %w", context.DeadlineExceeded), false},
+
+		// An explicit marker is authoritative in both directions.
+		{"permanent marker over timeout", permanentErr{os.ErrDeadlineExceeded}, false},
+		{"permanent marker over net timeout", fmt.Errorf("x: %w", permanentErr{fakeNetErr{timeout: true}}), false},
 	}
-	if !IsTransient(transientErr{"flaky"}) {
-		t.Fatal("transient marker not detected")
-	}
-	wrapped := errors.Join(errors.New("context"), transientErr{"flaky"})
-	if !IsTransient(wrapped) {
-		t.Fatal("transient marker not found through the error chain")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := IsTransient(c.err); got != c.want {
+				t.Fatalf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+			}
+		})
 	}
 }
 

@@ -27,7 +27,8 @@ var Analyzer = &lint.Analyzer{
 		if !strings.HasPrefix(pkgPath, "repro") {
 			return true
 		}
-		return pkgPath == "repro/internal/flight" || pkgPath == "repro/internal/sim"
+		return pkgPath == "repro/internal/flight" || pkgPath == "repro/internal/sim" ||
+			pkgPath == "repro/internal/farm"
 	},
 	Run: run,
 }

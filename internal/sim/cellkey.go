@@ -7,6 +7,7 @@ package sim
 // unlike the checkpoint, which binds one file to one run configuration.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -81,6 +82,63 @@ func (r *Runner) cellKeyAt(version, name string, scheme Scheme, trh int64) (stri
 // enter the store. Pass nil to detach.
 func (r *Runner) AttachCellCache(s *cellcache.Store) { r.cells = s }
 
+// CellLeaser lifts singleflight semantics to the cache layer: where the
+// in-process flight.Group coalesces concurrent callers inside one
+// Runner, a leaser coordinates Runners in different processes sharing a
+// cache directory (cellcache leases are one implementation; the farm
+// wraps them with its clock and backoff). The Runner stays clock-free —
+// how long Wait blocks, and whether it does at all, is the leaser's
+// business.
+type CellLeaser interface {
+	// Claim tries to acquire the compute lease for the content-addressed
+	// cache key, reporting whether the caller should simulate the cell.
+	// False means another owner holds a live lease.
+	Claim(key string) bool
+	// Wait blocks until the lease for key may have changed hands (the
+	// holder finished, released, or expired), or ctx ends; it returns
+	// ctx.Err() on cancellation and nil otherwise. Implementations
+	// choose the polling or notification strategy.
+	Wait(ctx context.Context, key string) error
+	// Release drops a lease acquired by Claim once the result has been
+	// stored (or the attempt failed). Releasing an expired/lost lease
+	// must be a harmless no-op.
+	Release(key string)
+}
+
+// AttachLeaser attaches the cross-process compute coordinator. It only
+// takes effect alongside an attached cell cache — without a store to
+// poll, waiting on another process's lease could never observe its
+// result. Pass nil to detach. Attach before any cells run; the field is
+// read concurrently afterwards.
+func (r *Runner) AttachLeaser(l CellLeaser) { r.leaser = l }
+
+// awaitLease is the lease protocol around one missed cell: claim, and
+// while another owner holds the lease, wait and re-poll the store. It
+// returns (run, true, nil) when the cell landed in the store while
+// waiting, (zero, false, nil) when the lease was acquired — the caller
+// must simulate and then Release — and an error only on cancellation.
+func (r *Runner) awaitLease(ctx context.Context, key cellKey, hash string) (WorkloadRun, bool, error) {
+	for {
+		if r.leaser.Claim(hash) {
+			return WorkloadRun{}, false, nil
+		}
+		r.mu.Lock()
+		r.cellStats.LeaseWaits++
+		r.mu.Unlock()
+		if err := r.leaser.Wait(ctx, hash); err != nil {
+			return WorkloadRun{}, false, err
+		}
+		if run, ok := r.cacheLookup(key); ok {
+			r.mu.Lock()
+			r.cellStats.CacheHits++
+			r.cellStats.LeaseHits++
+			r.cellMemo[key] = run
+			r.mu.Unlock()
+			return run, true, nil
+		}
+	}
+}
+
 // CellStats summarizes how RunCtx requests for cacheable (fault-free)
 // cells were satisfied. Checkpoint-served cells are counted separately
 // by CheckpointHits; fault-injected cells bypass this accounting.
@@ -95,6 +153,13 @@ type CellStats struct {
 	Simulated int64
 	// Errors is the number of requests that failed.
 	Errors int64
+	// LeaseWaits counts times a cell found another process's live compute
+	// lease and waited instead of simulating.
+	LeaseWaits int64
+	// LeaseHits counts waits that ended with the other process's result
+	// served from the store — cross-process dedup. Each is also counted
+	// in CacheHits (it is one).
+	LeaseHits int64
 }
 
 // Deduped is the number of requests served from an identical cell

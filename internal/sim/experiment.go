@@ -54,6 +54,13 @@ type ExpConfig struct {
 	// failure clears exactly the way a real one would.
 	//aquakey:exclude retry count changes recovery behaviour only; a cell that succeeds yields the same bytes on any attempt
 	Retries int
+	// OnCellStart, when set, is called at the start of every cell compute
+	// attempt (after cache/memo/checkpoint resolution — served cells never
+	// fire it). The experiment farm hooks it to count compute opportunities
+	// for harness-level fault injection (fault.WorkerKill); it must not
+	// mutate anything the simulation reads.
+	//aquakey:exclude observation hook; fires only on cells that actually simulate and cannot change their results
+	OnCellStart func(workload string, scheme Scheme, trh int64)
 }
 
 func (e *ExpConfig) fillDefaults() {
@@ -141,6 +148,12 @@ type Runner struct {
 	// cellkey.go): clean completed cells are served from it across
 	// processes and written back to it. Nil means no cache.
 	cells *cellcache.Store
+	// leaser, when attached alongside cells, coordinates cell computation
+	// across processes sharing the cache: a missed cell claims a compute
+	// lease before simulating, and a claim lost to another owner polls the
+	// store instead of duplicating the work (see CellLeaser). Nil means
+	// every miss simulates.
+	leaser CellLeaser
 
 	mu sync.Mutex
 	// calibrated per-workload IPC from the baseline pass.
@@ -499,7 +512,12 @@ func (r *Runner) protectCell(name string, scheme Scheme, trh int64, fn func(atte
 	if r.initErr != nil {
 		return &CellError{Workload: name, Scheme: scheme, TRH: trh, Err: r.initErr}
 	}
-	err := flight.Retry(r.cfg.Retries+1, r.retryBackoff, fn)
+	err := flight.Retry(r.cfg.Retries+1, r.retryBackoff, func(attempt int) error {
+		if r.cfg.OnCellStart != nil {
+			r.cfg.OnCellStart(name, scheme, trh)
+		}
+		return fn(attempt)
+	})
 	if err == nil {
 		return nil
 	}
@@ -644,6 +662,18 @@ func (r *Runner) computeCell(ctx context.Context, key cellKey) (WorkloadRun, err
 		r.mu.Lock()
 		r.cellStats.CacheMisses++
 		r.mu.Unlock()
+	}
+	if r.cells != nil && r.leaser != nil {
+		if hash, err := r.CellKey(key.workload, key.scheme, key.trh); err == nil {
+			run, served, err := r.awaitLease(ctx, key, hash)
+			if err != nil {
+				return WorkloadRun{}, err
+			}
+			if served {
+				return run, nil
+			}
+			defer r.leaser.Release(hash)
+		}
 	}
 	run, err := r.runCellProtected(ctx, key.workload, key.scheme, key.trh)
 	if err != nil {

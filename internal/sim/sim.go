@@ -376,6 +376,17 @@ func (s *System) Run(until dram.PS) Result {
 // ctx.Err() never shows up in profiles.
 const ctxCheckInterval = 4096
 
+// ctxCheckSimStride is the simulated-time companion to ctxCheckInterval:
+// RunCtx also checks ctx at the first calendar event at or after each
+// stride boundary. The request stride alone lets a quiet cell (fewer
+// than ctxCheckInterval requests in its whole window) run to completion
+// without ever observing cancellation; the stride bounds that latency in
+// simulated time instead. 100 us is ~13 refresh intervals — foreign
+// events are far denser than the stride, so the first event past a
+// boundary is never far past it, and the check stays off the per-request
+// path.
+const ctxCheckSimStride = 100 * dram.Microsecond
+
 // resetEvents rebuilds the calendar for a fresh run: the controller
 // re-arms its background lanes and every unfinished core contributes its
 // next-issue event. The heap's backing slice survives Reset, so repeat
@@ -467,9 +478,13 @@ func (s *System) issueHorizon() dram.PS {
 }
 
 // RunCtx is Run with cancellation: the issue loop polls ctx every
-// ctxCheckInterval requests and abandons the simulation with ctx.Err()
-// when it has been cancelled. The partial simulation state is discarded —
-// a cancelled cell has no result.
+// ctxCheckInterval requests AND at the first calendar event at or after
+// each ctxCheckSimStride boundary of simulated time, then abandons the
+// simulation with ctx.Err() when it has been cancelled. The dual stride
+// bounds cancellation latency for both request-dense cells (request
+// stride) and quiet ones (simulated-time stride); a pre-cancelled ctx is
+// observed before the first event is processed. The partial simulation
+// state is discarded — a cancelled cell has no result.
 //
 // The loop is event-driven: the calendar's indexed heap orders per-core
 // next-issue events by (time, core index) — bit-identical to the old
@@ -486,10 +501,17 @@ func (s *System) issueHorizon() dram.PS {
 func (s *System) RunCtx(ctx context.Context, until dram.PS) (Result, error) {
 	s.resetEvents()
 	issued := 0
+	var nextCtxCheck dram.PS // 0: the very first event observes a pre-cancelled ctx
 	for {
 		root, ok := s.cal.MinIndexed()
 		if !ok {
 			break
+		}
+		if root.Time >= nextCtxCheck {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+			nextCtxCheck = root.Time + ctxCheckSimStride
 		}
 		if until > 0 && root.Time > until {
 			break

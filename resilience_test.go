@@ -74,19 +74,19 @@ func TestLabFaultMatrix(t *testing.T) {
 	golden := goldenSections(t)
 
 	// Renderers whose grid contains xz/rrs/1000 fail — with the cell named.
-	for _, r := range goldenRenderers() {
-		switch r.name {
+	for _, r := range Renderers() {
+		switch r.Name {
 		case "figure3", "figure6", "figure7", "table6":
-			_, err := r.fn(l)
+			_, err := r.Fn(l)
 			var ce *sim.CellError
 			if !errors.As(err, &ce) {
-				t.Fatalf("%s: got %v, want *sim.CellError", r.name, err)
+				t.Fatalf("%s: got %v, want *sim.CellError", r.Name, err)
 			}
 			if ce.Workload != "xz" || ce.Scheme != SchemeRRS || ce.TRH != 1000 {
-				t.Fatalf("%s failed on cell %s/%s/%d, want xz/rrs/1000", r.name, ce.Workload, ce.Scheme, ce.TRH)
+				t.Fatalf("%s failed on cell %s/%s/%d, want xz/rrs/1000", r.Name, ce.Workload, ce.Scheme, ce.TRH)
 			}
 			if len(ce.Stack) == 0 {
-				t.Fatalf("%s: panic CellError carries no stack", r.name)
+				t.Fatalf("%s: panic CellError carries no stack", r.Name)
 			}
 		}
 	}
@@ -109,17 +109,17 @@ func TestLabFaultMatrix(t *testing.T) {
 
 	// Every renderer whose grid avoids both faulted cells must render
 	// byte-identically to the committed golden output.
-	for _, r := range goldenRenderers() {
-		switch r.name {
+	for _, r := range Renderers() {
+		switch r.Name {
 		case "table2", "figure10", "figure11", "table4", "section5f", "section5h":
-			out, err := r.fn(l)
+			out, err := r.Fn(l)
 			if err != nil {
-				t.Fatalf("%s: %v", r.name, err)
+				t.Fatalf("%s: %v", r.Name, err)
 			}
-			if want, ok := golden[r.name]; !ok {
-				t.Fatalf("golden file has no section %q", r.name)
+			if want, ok := golden[r.Name]; !ok {
+				t.Fatalf("golden file has no section %q", r.Name)
 			} else if out+"\n" != want {
-				t.Errorf("%s diverged from golden under unrelated faults:\n%s", r.name, firstDiff(want, out+"\n"))
+				t.Errorf("%s diverged from golden under unrelated faults:\n%s", r.Name, firstDiff(want, out+"\n"))
 			}
 		}
 	}
