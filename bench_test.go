@@ -430,6 +430,14 @@ type BenchRecord struct {
 	WallWarmSec float64 `json:"wall_warm_sec"`
 	CacheHits   int64   `json:"cache_hits"`
 
+	// TraceCaptures/TraceReplays are the cold pass's stream-tier counters:
+	// with trace replay on by default, each workload's core streams are
+	// synthesized once (captures) and every later cell sharing them replays
+	// the packed capture instead of regenerating. Replays of zero would
+	// mean the tier is dark and wall_cold_sec is paying full synthesis.
+	TraceCaptures int64 `json:"trace_captures"`
+	TraceReplays  int64 `json:"trace_replays"`
+
 	SlowdownAqua1KPct float64 `json:"slowdown_aqua_1k_pct"`
 	SlowdownRRS1KPct  float64 `json:"slowdown_rrs_1k_pct"`
 	MigrAquaPer64ms   float64 `json:"migrations_per_64ms_aqua"`
@@ -459,6 +467,7 @@ func runMicrobenches() map[string]MicroMetric {
 		"tracker_act_cold":     perf.BenchTrackerACTCold,
 		"mitigation_translate": perf.BenchTranslate,
 		"workload_stream":      perf.BenchGeneratorStream,
+		"trace_replay":         perf.BenchTraceReplay,
 		"event_pop":            perf.BenchEventPop,
 		"issue_loop_8c":        perf.BenchIssueLoop8,
 		"issue_loop_16c":       perf.BenchIssueLoop16,
@@ -539,6 +548,7 @@ func TestBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	wallCold := time.Since(start)
+	coldStats := coldLab.CellStats()
 
 	warmLab := NewLab(parallelOpts)
 	warmStore, err := cellcache.New(cacheDir)
@@ -627,6 +637,8 @@ func TestBenchJSON(t *testing.T) {
 		WallColdSec:       wallCold.Seconds(),
 		WallWarmSec:       wallWarm.Seconds(),
 		CacheHits:         warmStats.CacheHits,
+		TraceCaptures:     coldStats.TraceCaptures,
+		TraceReplays:      coldStats.TraceReplays,
 		SlowdownAqua1KPct: (1 - aquaGM) * 100,
 		SlowdownRRS1KPct:  (1 - rrsGM) * 100,
 		MigrAquaPer64ms:   migrAqua / n,

@@ -85,6 +85,7 @@ func realMain() int {
 	cache := flag.Bool("cache", true, "serve grid cells from the content-addressed result cache (in-memory; add -cache-dir to persist)")
 	cacheDir := flag.String("cache-dir", "", "directory for the on-disk cache tier: completed cells persist here and warm future runs (implies -cache)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache entirely (overrides -cache and -cache-dir)")
+	noTraceReplay := flag.Bool("no-trace-replay", false, "regenerate workload streams for every cell instead of replaying captured traces (byte-identical, slower; see make trace-smoke)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -142,11 +143,12 @@ func realMain() int {
 	}
 
 	opts := repro.LabOptions{
-		Window:   dram.PS(*windowMS) * dram.Millisecond,
-		Seed:     *seed,
-		Parallel: *par,
-		Faults:   rules,
-		Context:  ctx,
+		Window:        dram.PS(*windowMS) * dram.Millisecond,
+		Seed:          *seed,
+		Parallel:      *par,
+		Faults:        rules,
+		Context:       ctx,
+		NoTraceReplay: *noTraceReplay,
 	}
 	switch *workloads {
 	case "all":
@@ -157,6 +159,12 @@ func realMain() int {
 		log.Fatalf("unknown workload set %q", *workloads)
 	}
 	lab := repro.NewLab(opts)
+	defer func() {
+		if cs := lab.CellStats(); cs.TraceCaptures > 0 || cs.TraceReplays > 0 {
+			fmt.Fprintf(os.Stderr, "[trace tier: %d streams captured, %d replayed (%d from disk)]\n",
+				cs.TraceCaptures, cs.TraceReplays, cs.TraceDiskHits)
+		}
+	}()
 	if !*noCache && (*cache || *cacheDir != "") {
 		store, err := cellcache.New(*cacheDir)
 		if err != nil {

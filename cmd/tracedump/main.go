@@ -8,6 +8,8 @@
 //	tracedump info gcc.trace                                # header + stats
 //	tracedump dump gcc.trace | head                         # text format
 //	tracedump replay gcc.trace -scheme aqua-memmapped       # run through a scheme
+//	tracedump convert -to v2 -o gcc.aqt2 gcc.trace          # text/v1/v2 conversion
+//	tracedump stats gcc.aqt2                                # per-core statistics
 package main
 
 import (
@@ -42,6 +44,14 @@ func main() {
 		dump(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "convert":
+		if err := runConvert(os.Args[2:], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "stats":
+		if err := runStats(os.Args[2:], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	default:
 		log.Fatalf("unknown subcommand %q", os.Args[1])
 	}

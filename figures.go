@@ -52,6 +52,14 @@ type LabOptions struct {
 	// farm hooks it for harness-level fault injection; it must not mutate
 	// anything the simulation reads.
 	OnCellStart func(workload string, scheme Scheme, trh int64)
+	// NoTraceReplay disables the workload capture/replay tier: every cell
+	// regenerates its streams instead of replaying the first cell's
+	// captured trace. Replay is byte-identical to generation; the flag
+	// exists for the make trace-smoke equivalence gate.
+	NoTraceReplay bool
+	// TraceBudgetBytes bounds the in-memory captured-trace tier (0 =
+	// default 1 GiB, negative = unlimited); see sim.ExpConfig.
+	TraceBudgetBytes int64
 }
 
 // AllWorkloads returns all 34 case names (18 SPEC + 16 mixes).
@@ -104,12 +112,14 @@ func NewLab(opts LabOptions) *Lab {
 		opts: opts,
 		ctx:  ctx,
 		runner: sim.NewRunner(sim.ExpConfig{
-			Window:      opts.Window,
-			Seed:        opts.Seed,
-			Calibrate:   !opts.NoCalibration,
-			Parallel:    opts.Parallel,
-			Faults:      opts.Faults,
-			OnCellStart: opts.OnCellStart,
+			Window:             opts.Window,
+			Seed:               opts.Seed,
+			Calibrate:          !opts.NoCalibration,
+			Parallel:           opts.Parallel,
+			Faults:             opts.Faults,
+			OnCellStart:        opts.OnCellStart,
+			DisableTraceReplay: opts.NoTraceReplay,
+			TraceBudgetBytes:   opts.TraceBudgetBytes,
 		}),
 		cache: make(map[labKey]sim.WorkloadRun),
 	}

@@ -339,8 +339,26 @@ func New(rank *dram.Rank, cfg Config) *Engine {
 	} else {
 		e.fastLat, e.fastClass = e.cfg.SRAMLatency, mitigation.LookupSRAM
 	}
-	for r := 0; r < geom.Rows(); r++ {
-		e.setFast(dram.Row(r), e.fastEligible(dram.Row(r)))
+	// At construction nothing is quarantined, no forward entry exists, and
+	// the bloom is empty, so fastEligible reduces to the static region
+	// predicates — false only inside the reserved strip at the top of each
+	// bank (RQA slots + table rows). Bulk-set every bit and recompute just
+	// the strip: O(rows/64 + reserved) instead of a predicate call per row,
+	// which dominated per-cell engine construction on grid runs.
+	// CheckInvariants audits bitmap == fastEligible over all rows, so the
+	// equivalence is a tested contract, not an assumption.
+	for i := range e.fast {
+		e.fast[i] = ^uint64(0)
+	}
+	if tail := uint(geom.Rows()) & 63; tail != 0 {
+		e.fast[len(e.fast)-1] = 1<<tail - 1
+	}
+	reserved := l.rqaRowsPerBank + l.tableRowsPerBnk
+	for bank := 0; bank < geom.Banks; bank++ {
+		hi := (bank + 1) * geom.RowsPerBank
+		for r := hi - reserved; r < hi; r++ {
+			e.setFast(dram.Row(r), e.fastEligible(dram.Row(r)))
+		}
 	}
 
 	e.chk = cfg.Invariants

@@ -42,6 +42,40 @@ func hammer(eng *Engine, install dram.Row, acts int, at dram.PS) dram.PS {
 	return busy
 }
 
+// TestFreshEngineFastBitmap pins the construction fast path: the bulk
+// bitmap fill plus per-bank strip recompute must land exactly where the
+// old full-row predicate sweep did, in both modes and on a geometry
+// whose row count is not a multiple of 64 (the partial-word tail).
+func TestFreshEngineFastBitmap(t *testing.T) {
+	geoms := []dram.Geometry{
+		testGeom(),
+		{Banks: 3, RowsPerBank: 50, RowBytes: 1024, LineBytes: 64}, // 150 rows: 64-bit tail
+	}
+	for _, geom := range geoms {
+		for _, mode := range []Mode{ModeSRAM, ModeMemMapped} {
+			eng := New(dram.NewRank(geom, dram.DDR4()), Config{
+				TRH:     40,
+				Mode:    mode,
+				RQARows: 8,
+				Tracker: tracker.NewExact(geom, 20),
+				Seed:    1,
+			})
+			if err := eng.CheckInvariants(); err != nil {
+				t.Fatalf("geom %dx%d mode %v: fresh engine: %v",
+					geom.Banks, geom.RowsPerBank, mode, err)
+			}
+			// The tail bits past Rows() must stay clear so the bitmap never
+			// claims rows outside the geometry.
+			for w := uint64(geom.Rows()); w < uint64(len(eng.fast)*64); w++ {
+				if eng.fast[w>>6]&(1<<(w&63)) != 0 {
+					t.Fatalf("geom %dx%d mode %v: fast bit set past Rows() at %d",
+						geom.Banks, geom.RowsPerBank, mode, w)
+				}
+			}
+		}
+	}
+}
+
 func TestQuarantineAfterEffectiveThreshold(t *testing.T) {
 	_, eng := newEngine(t, ModeSRAM, 8, 40) // migrate every 20 ACTs
 	row := testGeom().RowOf(0, 5)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/event"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/tracker"
 	"repro/internal/workload"
 )
@@ -19,6 +20,7 @@ func BenchmarkTrackerACTHot(b *testing.B)   { BenchTrackerACTHot(b) }
 func BenchmarkTrackerACTCold(b *testing.B)  { BenchTrackerACTCold(b) }
 func BenchmarkTranslate(b *testing.B)       { BenchTranslate(b) }
 func BenchmarkGeneratorStream(b *testing.B) { BenchGeneratorStream(b) }
+func BenchmarkTraceReplay(b *testing.B)     { BenchTraceReplay(b) }
 func BenchmarkEventPop(b *testing.B)        { BenchEventPop(b) }
 func BenchmarkIssueLoop4(b *testing.B)      { BenchIssueLoop4(b) }
 func BenchmarkIssueLoop8(b *testing.B)      { BenchIssueLoop8(b) }
@@ -146,5 +148,26 @@ func TestWorkloadStreamZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(5000, func() { s.Next() }); avg != 0 {
 		t.Fatalf("stream.Next allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestTraceReplayZeroAlloc holds the same budget for the replay tier:
+// PackedStream.Next over a captured stream must not allocate — the
+// record-once/replay-many design only pays off if replay is free of GC
+// pressure.
+func TestTraceReplayZeroAlloc(t *testing.T) {
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("gcc spec missing")
+	}
+	gen := workload.NewGenerator(spec, workload.Region{Geom: dram.Baseline()}, 0, 1, workload.Params{})
+	p := trace.PackStream(gen.Stream(1<<16, 1), 1<<16)
+	s := p.Stream()
+	if avg := testing.AllocsPerRun(5000, func() {
+		if _, ok := s.Next(); !ok {
+			s = p.Stream()
+		}
+	}); avg != 0 {
+		t.Fatalf("PackedStream.Next allocates %.2f allocs/op, want 0", avg)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/mitigation"
 	"repro/internal/rng"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -61,6 +62,22 @@ type ExpConfig struct {
 	// mutate anything the simulation reads.
 	//aquakey:exclude observation hook; fires only on cells that actually simulate and cannot change their results
 	OnCellStart func(workload string, scheme Scheme, trh int64)
+	// DisableTraceReplay turns off the record-once/replay-many stream
+	// tier (see tracetier.go): every cell regenerates its workload
+	// streams from the generator instead of replaying a captured trace.
+	// Replay is byte-identical to generation — captures carry addresses
+	// and instruction gaps, never timestamps — so the flag changes
+	// wall-clock only; it exists for the replay-vs-generate equivalence
+	// gate (make trace-smoke).
+	//aquakey:exclude replay is byte-identical to generation (equivalence gate: make trace-smoke); the tier changes wall-clock only
+	DisableTraceReplay bool
+	// TraceBudgetBytes bounds the in-memory captured-trace tier (0 =
+	// default 1 GiB, negative = unlimited). Captures past the budget
+	// spill as v2 trace files under the attached cell cache's directory
+	// and replay from the memory mapping, or — with no disk tier — are
+	// served once, uncached.
+	//aquakey:exclude the budget moves streams between replay tiers, which all yield the same bytes
+	TraceBudgetBytes int64
 }
 
 func (e *ExpConfig) fillDefaults() {
@@ -168,6 +185,13 @@ type Runner struct {
 	// of a workload can draw fresh streams from one shared instance
 	// instead of re-deriving the hot-row placement and background set.
 	genCache map[genKey]*workload.Generator // guarded by mu
+	// traceMem is the in-memory tier of the capture/replay layer
+	// (tracetier.go): packed per-core request traces keyed like genCache,
+	// replayed by every cell sharing the workload. traceBytes tracks its
+	// footprint against the budget; traceDisk holds mapped spill files.
+	traceMem   map[genKey]*trace.Packed    // guarded by mu
+	traceDisk  map[genKey]*trace.MappedSet // guarded by mu
+	traceBytes int64                       // guarded by mu
 	// cellMemo memoizes clean completed cells for the life of the Runner,
 	// so identical grid cells (the same baseline repeated at every sweep
 	// point) simulate at most once even with no cache attached and even
@@ -197,6 +221,8 @@ func NewRunner(cfg ExpConfig) *Runner {
 		ipcCache:  make(map[string]float64),
 		baseCache: make(map[string]Result),
 		genCache:  make(map[genKey]*workload.Generator),
+		traceMem:  make(map[genKey]*trace.Packed),
+		traceDisk: make(map[genKey]*trace.MappedSet),
 		cellMemo:  make(map[cellKey]WorkloadRun),
 	}
 	if err := cfg.validate(); err != nil {
@@ -350,9 +376,13 @@ func (r *Runner) streamsFor(name string, nominalIPC float64) ([]cpu.Stream, erro
 	out := make([]cpu.Stream, r.cfg.Cores)
 	for i := 0; i < r.cfg.Cores; i++ {
 		spec := specs[i]
-		gen := r.generator(spec, i, nominalIPC)
 		reqs := int64(windowInstr*spec.MPKI/1000) + 16
-		out[i] = gen.Stream(reqs, r.cfg.Seed+uint64(i)*7919)
+		if r.cfg.DisableTraceReplay {
+			gen := r.generator(spec, i, nominalIPC)
+			out[i] = gen.Stream(reqs, r.cfg.Seed+uint64(i)*7919)
+			continue
+		}
+		out[i] = r.replayStream(spec, i, nominalIPC, reqs)
 	}
 	return out, nil
 }

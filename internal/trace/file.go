@@ -1,0 +1,344 @@
+package trace
+
+// mmap-backed replay of v2 trace files: the frame index (reached through
+// the fixed-size footer) gives every block's offset, so per-core replay
+// cursors decode varints straight out of the mapped bytes — no upfront
+// decode, no per-record allocation, and the OS pages blocks in and out
+// on demand, so a multi-gigabyte trace replays with bounded resident
+// memory. Block checksums are verified lazily, when a cursor first
+// enters the block.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/cpu"
+)
+
+// MappedSet is a v2 trace file opened for random-access replay.
+type MappedSet struct {
+	data    []byte
+	hdr     HeaderV2
+	perCore [][]frame
+	unmap   func() error
+}
+
+// OpenFile opens a v2 trace file for replay, memory-mapping it where the
+// platform supports that and falling back to an in-memory read where it
+// does not. The header, footer, and frame index are validated here; block
+// payloads are checksummed lazily as replay first touches them.
+func OpenFile(path string) (*MappedSet, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMappedSet(data, unmap)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// newMappedSet validates the framing over a complete v2 byte image.
+func newMappedSet(data []byte, unmap func() error) (*MappedSet, error) {
+	size := int64(len(data))
+	if size < headerLen2+blockHdr2+footerLen2 {
+		return nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != magic2 {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != version2 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	cores := binary.LittleEndian.Uint32(data[8:])
+	if cores < 1 || cores > maxCores2 {
+		return nil, fmt.Errorf("trace: core count %d out of range", cores)
+	}
+	hdr := HeaderV2{
+		Cores:       int(cores),
+		BlockTarget: int(binary.LittleEndian.Uint32(data[12:])),
+		Records:     int64(binary.LittleEndian.Uint64(data[16:])),
+	}
+	foot := data[size-footerLen2:]
+	if binary.LittleEndian.Uint32(foot[8:]) != magic2 ||
+		binary.LittleEndian.Uint32(foot[12:]) != version2 {
+		return nil, fmt.Errorf("trace: bad footer (%w?)", ErrTruncated)
+	}
+	indexOffset := int64(binary.LittleEndian.Uint64(foot[0:]))
+	if indexOffset < headerLen2 || indexOffset+blockHdr2 > size-footerLen2 {
+		return nil, fmt.Errorf("trace: index offset %d out of bounds", indexOffset)
+	}
+	ih := data[indexOffset:]
+	if binary.LittleEndian.Uint32(ih[0:]) != indexCore {
+		return nil, fmt.Errorf("trace: no index block at offset %d", indexOffset)
+	}
+	frameCount := binary.LittleEndian.Uint32(ih[4:])
+	payloadLen := int64(binary.LittleEndian.Uint32(ih[8:]))
+	if indexOffset+blockHdr2+payloadLen > size-footerLen2 {
+		return nil, fmt.Errorf("trace: index payload overruns file (%w)", ErrTruncated)
+	}
+	payload := data[indexOffset+blockHdr2 : indexOffset+blockHdr2+payloadLen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(ih[12:]) {
+		return nil, fmt.Errorf("frame index: %w", ErrChecksum)
+	}
+	frames, err := parseFrames(payload, frameCount, size)
+	if err != nil {
+		return nil, err
+	}
+	perCore := make([][]frame, hdr.Cores)
+	var total int64
+	next := int64(headerLen2)
+	for i, f := range frames {
+		if int(f.core) >= hdr.Cores {
+			return nil, fmt.Errorf("trace: frame core %d out of range [0,%d)", f.core, hdr.Cores)
+		}
+		// Cross-check the frame against the block header it points at, and
+		// require the frames to tile the data region exactly (each block
+		// indexed once, in file order, no gaps). Anything looser would let
+		// a forged index make the mapped and sequential readers decode
+		// different streams from the same bytes. Header-only — payload
+		// checksums stay lazy.
+		if f.offset != next {
+			return nil, fmt.Errorf("trace: frame %d at offset %d, want %d (index does not tile the data)",
+				i, f.offset, next)
+		}
+		bh := data[f.offset:]
+		if binary.LittleEndian.Uint32(bh[0:]) != f.core ||
+			binary.LittleEndian.Uint32(bh[4:]) != f.records {
+			return nil, fmt.Errorf("trace: frame %d disagrees with block header at offset %d", i, f.offset)
+		}
+		next = f.offset + blockHdr2 + int64(binary.LittleEndian.Uint32(bh[8:]))
+		if next > size-footerLen2 {
+			return nil, fmt.Errorf("trace: block at %d overruns file (%w)", f.offset, ErrTruncated)
+		}
+		seq := perCore[f.core]
+		var want int64
+		if len(seq) > 0 {
+			last := seq[len(seq)-1]
+			want = last.startRecord + int64(last.records)
+		}
+		if f.startRecord != want {
+			return nil, fmt.Errorf("trace: core %d frames discontinuous at record %d (want %d)",
+				f.core, f.startRecord, want)
+		}
+		perCore[f.core] = append(perCore[f.core], f)
+		total += int64(f.records)
+	}
+	if total != hdr.Records {
+		return nil, fmt.Errorf("trace: index covers %d of %d declared records", total, hdr.Records)
+	}
+	return &MappedSet{data: data, hdr: hdr, perCore: perCore, unmap: unmap}, nil
+}
+
+// Header returns the trace header.
+func (m *MappedSet) Header() HeaderV2 { return m.hdr }
+
+// CoreRecords returns the number of records core holds.
+func (m *MappedSet) CoreRecords(core int) int64 {
+	var n int64
+	for _, f := range m.perCore[core] {
+		n += int64(f.records)
+	}
+	return n
+}
+
+// CoreBlocks returns the number of data blocks core's records span.
+func (m *MappedSet) CoreBlocks(core int) int { return len(m.perCore[core]) }
+
+// Verify checksums every data block eagerly — the check Stream performs
+// lazily on block entry — so a caller about to trust a file for a whole
+// simulation can reject corruption up front instead of discovering it as
+// a silently truncated stream mid-run. Block bounds were validated at
+// open; only the payload hashes remain.
+func (m *MappedSet) Verify() error {
+	for _, frames := range m.perCore {
+		for _, f := range frames {
+			hdr := m.data[f.offset:]
+			payloadLen := int64(binary.LittleEndian.Uint32(hdr[8:]))
+			payload := m.data[f.offset+blockHdr2 : f.offset+blockHdr2+payloadLen]
+			if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[12:]) {
+				return fmt.Errorf("block at %d: %w", f.offset, ErrChecksum)
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases the mapping. Streams must not be used afterwards.
+func (m *MappedSet) Close() error {
+	if m.unmap == nil {
+		return nil
+	}
+	u := m.unmap
+	m.unmap = nil
+	m.data = nil
+	return u()
+}
+
+// Stream returns a fresh replay cursor over one core's records. Cursors
+// are independent; any number may replay concurrently.
+func (m *MappedSet) Stream(core int) *MappedStream {
+	return &MappedStream{m: m, frames: m.perCore[core]}
+}
+
+// Streams returns one fresh replay cursor per core.
+func (m *MappedSet) Streams() []cpu.Stream {
+	out := make([]cpu.Stream, m.hdr.Cores)
+	for i := range out {
+		out[i] = m.Stream(i)
+	}
+	return out
+}
+
+// Pack decodes the whole file into the in-memory representation (the
+// grid's fast tier promotes disk hits with it).
+func (m *MappedSet) Pack() (*Set, error) {
+	set := &Set{Cores: make([]*Packed, m.hdr.Cores)}
+	for core := range set.Cores {
+		p := &Packed{}
+		s := m.Stream(core)
+		for {
+			req, ok := s.Next()
+			if !ok {
+				break
+			}
+			p.Append(Record{Row: req.Row, Write: req.Write, GapInstr: req.GapInstr})
+		}
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
+		set.Cores[core] = p
+	}
+	return set, nil
+}
+
+// MappedStream replays one core of a MappedSet as a cpu.Stream, decoding
+// records straight from the mapped bytes.
+type MappedStream struct {
+	m      *MappedSet
+	frames []frame
+
+	payload   []byte
+	pos       int
+	prevRow   uint32
+	remaining uint32
+	nextFrame int
+	err       error
+}
+
+// Err returns the first decoding error encountered by Next.
+func (s *MappedStream) Err() error { return s.err }
+
+var _ cpu.Stream = (*MappedStream)(nil)
+
+// Next implements cpu.Stream; decode errors (including a checksum
+// mismatch on block entry) end the stream and are reported by Err.
+func (s *MappedStream) Next() (cpu.Request, bool) {
+	if s.err != nil {
+		return cpu.Request{}, false
+	}
+	for s.remaining == 0 {
+		if s.nextFrame >= len(s.frames) {
+			return cpu.Request{}, false
+		}
+		f := s.frames[s.nextFrame]
+		s.nextFrame++
+		if err := s.enter(f); err != nil {
+			s.err = err
+			return cpu.Request{}, false
+		}
+	}
+	rec, pos, prevRow, err := decodeRecord(s.payload, s.pos, s.prevRow)
+	if err != nil {
+		s.err = err
+		return cpu.Request{}, false
+	}
+	s.pos, s.prevRow = pos, prevRow
+	s.remaining--
+	return cpu.Request{Row: rec.Row, Write: rec.Write, GapInstr: rec.GapInstr}, true
+}
+
+// enter positions the cursor at the start of a block, verifying the
+// block's checksum (the lazy half of OpenFile's validation).
+func (s *MappedStream) enter(f frame) error {
+	data := s.m.data
+	if data == nil {
+		return fmt.Errorf("trace: stream used after Close")
+	}
+	hdr := data[f.offset:]
+	payloadLen := int64(binary.LittleEndian.Uint32(hdr[8:]))
+	if f.offset+blockHdr2+payloadLen > int64(len(data)) {
+		return fmt.Errorf("trace: block at %d overruns file (%w)", f.offset, ErrTruncated)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != f.core ||
+		binary.LittleEndian.Uint32(hdr[4:]) != f.records {
+		return fmt.Errorf("trace: block at %d disagrees with frame index", f.offset)
+	}
+	payload := data[f.offset+blockHdr2 : f.offset+blockHdr2+payloadLen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[12:]) {
+		return fmt.Errorf("block at %d: %w", f.offset, ErrChecksum)
+	}
+	s.payload = payload
+	s.pos = 0
+	s.prevRow = 0
+	s.remaining = f.records
+	return nil
+}
+
+// WriteSetFile writes a Set to path in the v2 format via a temp file and
+// atomic rename, so a crashed writer never leaves a half-written trace
+// where a later run would try to replay it.
+func WriteSetFile(path string, set *Set, blockTarget int) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".trace-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSet(tmp, set, blockTarget); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// CopyV1ToV2 converts a v1 binary trace (single stream) to the v2 blocked
+// format with bounded memory: records stream block-by-block from the v1
+// reader into the block writer.
+func CopyV1ToV2(dst io.Writer, src *Reader, blockTarget int) error {
+	bw, err := NewBlockWriter(dst, 1, blockTarget, src.Header().Records)
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := src.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := bw.Append(0, rec); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}

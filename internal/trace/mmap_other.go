@@ -1,0 +1,16 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mapFile on platforms without the unix mmap surface reads the whole
+// file into memory; the replay API is identical, only the residency
+// behaviour differs.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned release function unmaps; the
+// file descriptor is closed before returning (the mapping outlives it).
+// Empty files cannot be mapped and fall back to a plain read.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, ErrTruncated
+	}
+	if int64(int(size)) != size {
+		return readFallback(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (or exhausted map count): fall
+		// back to reading the file into memory.
+		return readFallback(path)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+func readFallback(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

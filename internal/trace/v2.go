@@ -1,0 +1,472 @@
+package trace
+
+// aqua-trace-v2: a blocked, per-core, mmap-friendly framing of the v1
+// record encoding, so multi-gigabyte captures stream with bounded memory
+// and replay without a full upfront decode.
+//
+// Layout:
+//
+//	header (24 bytes)
+//	  magic "AQT2" | version 2 | cores | blockTarget | totalRecords
+//	block*  (self-delimiting: 16-byte header + payload)
+//	  core | records | payloadLen | crc32(payload)
+//	  payload = v1 record encoding (flag byte, XOR-delta row varint, gap
+//	  varint) with the row delta reset at every block boundary, so each
+//	  block decodes independently of its predecessors
+//	index block (same 16-byte header, core = 0xFFFFFFFF sentinel)
+//	  payload = one fixed 32-byte frame per data block:
+//	    offset | core | records | startRecord | reserved
+//	footer (16 bytes)
+//	  indexOffset | magic | version
+//
+// A sequential reader needs no index: blocks are self-delimiting and the
+// sentinel core marks the end of data. A random-access reader seeks to
+// the fixed-size footer, maps the frame index, and can start replay at
+// any block of any core without touching the bytes in between — the
+// shape mmap-backed replay (file.go) leans on.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/dram"
+)
+
+const (
+	magic2   = 0x41515432 // "AQT2"
+	version2 = 2
+
+	headerLen2 = 24
+	blockHdr2  = 16
+	frameLen2  = 32
+	footerLen2 = 16
+
+	// indexCore is the sentinel core id of the index block.
+	indexCore = ^uint32(0)
+
+	// DefaultBlockTarget is the records-per-block target: ~64KB payload at
+	// the typical 3-5 bytes/record, small enough that a corrupt block
+	// loses little, large enough that per-block overhead (48 bytes of
+	// header+frame) is noise.
+	DefaultBlockTarget = 16384
+
+	// maxCores2 bounds the declared core count (a parsing guard, far above
+	// any simulated configuration).
+	maxCores2 = 4096
+	// maxBlockPayload bounds one block's declared payload length.
+	maxBlockPayload = 1 << 26
+)
+
+// ErrChecksum marks a block whose payload does not match its CRC.
+var ErrChecksum = errors.New("trace: block checksum mismatch")
+
+// Container format names returned by DetectFormat.
+const (
+	FormatV1   = "aqua-trace-v1"
+	FormatV2   = "aqua-trace-v2"
+	FormatText = "text"
+)
+
+// DetectFormat reports which trace container the leading bytes of a file
+// belong to. Anything without a known magic — including fewer than four
+// bytes — reads as text, the only format with no magic to check.
+func DetectFormat(prefix []byte) string {
+	if len(prefix) >= 4 {
+		switch binary.LittleEndian.Uint32(prefix) {
+		case magic:
+			return FormatV1
+		case magic2:
+			return FormatV2
+		}
+	}
+	return FormatText
+}
+
+// frame is one decoded entry of the v2 frame index.
+type frame struct {
+	offset      int64
+	core        uint32
+	records     uint32
+	startRecord int64
+}
+
+// appendRecord encodes one record against prevRow, returning the extended
+// buffer and the new prevRow.
+func appendRecord(buf []byte, r Record, prevRow uint32) ([]byte, uint32, error) {
+	flag := byte(0)
+	if r.Write {
+		flag = 1
+	}
+	if r.GapInstr < 0 {
+		return buf, prevRow, fmt.Errorf("trace: negative gap %d", r.GapInstr)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, flag)
+	n := binary.PutUvarint(tmp[:], uint64(uint32(r.Row)^prevRow))
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(r.GapInstr))
+	buf = append(buf, tmp[:n]...)
+	return buf, uint32(r.Row), nil
+}
+
+// decodeRecord decodes one record from buf at pos against prevRow. It
+// returns the record, the new position, and the new prevRow.
+func decodeRecord(buf []byte, pos int, prevRow uint32) (Record, int, uint32, error) {
+	if pos >= len(buf) {
+		return Record{}, pos, prevRow, ErrTruncated
+	}
+	flag := buf[pos]
+	if flag > 1 {
+		return Record{}, pos, prevRow, fmt.Errorf("trace: bad flag byte %#x", flag)
+	}
+	pos++
+	delta, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return Record{}, pos, prevRow, ErrTruncated
+	}
+	if delta > uint64(^uint32(0)) {
+		return Record{}, pos, prevRow, fmt.Errorf("trace: row delta %d overflows", delta)
+	}
+	pos += n
+	gap, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return Record{}, pos, prevRow, ErrTruncated
+	}
+	if gap > 1<<62 {
+		return Record{}, pos, prevRow, fmt.Errorf("trace: gap %d overflows", gap)
+	}
+	pos += n
+	row := prevRow ^ uint32(delta)
+	return Record{Row: dram.Row(row), Write: flag == 1, GapInstr: int64(gap)}, pos, row, nil
+}
+
+// BlockWriter encodes a v2 trace incrementally with bounded memory: one
+// pending block per core, flushed whenever it reaches the block target.
+// The total record count is declared up front (v1's count-enforcement
+// contract), so truncated writes cannot masquerade as short traces.
+type BlockWriter struct {
+	w           *bufio.Writer
+	cores       int
+	blockTarget int
+	declared    int64
+	written     int64
+	offset      int64 // bytes emitted so far
+
+	pending  []pendingBlock
+	frames   []frame
+	frameBuf []byte
+	closed   bool
+}
+
+type pendingBlock struct {
+	buf         []byte
+	records     uint32
+	prevRow     uint32
+	startRecord int64
+	nextStart   int64 // records of this core already flushed or pending
+}
+
+// NewBlockWriter starts a v2 trace of exactly totalRecords records across
+// the given number of per-core streams. blockTarget <= 0 selects
+// DefaultBlockTarget.
+func NewBlockWriter(w io.Writer, cores int, blockTarget int, totalRecords int64) (*BlockWriter, error) {
+	if cores < 1 || cores > maxCores2 {
+		return nil, fmt.Errorf("trace: core count %d out of range", cores)
+	}
+	if totalRecords < 0 {
+		return nil, fmt.Errorf("trace: negative record count %d", totalRecords)
+	}
+	if blockTarget <= 0 {
+		blockTarget = DefaultBlockTarget
+	}
+	bw := &BlockWriter{
+		w:           bufio.NewWriter(w),
+		cores:       cores,
+		blockTarget: blockTarget,
+		declared:    totalRecords,
+		pending:     make([]pendingBlock, cores),
+	}
+	var hdr [headerLen2]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic2)
+	binary.LittleEndian.PutUint32(hdr[4:], version2)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(cores))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(blockTarget))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(totalRecords))
+	if _, err := bw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	bw.offset = headerLen2
+	return bw, nil
+}
+
+// Append encodes one record on the given core's stream.
+func (bw *BlockWriter) Append(core int, r Record) error {
+	if core < 0 || core >= bw.cores {
+		return fmt.Errorf("trace: core %d out of range [0,%d)", core, bw.cores)
+	}
+	if bw.written >= bw.declared {
+		return fmt.Errorf("trace: more than the declared %d records", bw.declared)
+	}
+	p := &bw.pending[core]
+	if p.records == 0 {
+		p.prevRow = 0 // per-block delta reset
+		p.startRecord = p.nextStart
+	}
+	var err error
+	p.buf, p.prevRow, err = appendRecord(p.buf, r, p.prevRow)
+	if err != nil {
+		return err
+	}
+	p.records++
+	p.nextStart++
+	bw.written++
+	if int(p.records) >= bw.blockTarget {
+		return bw.flush(core)
+	}
+	return nil
+}
+
+// flush emits core's pending block.
+func (bw *BlockWriter) flush(core int) error {
+	p := &bw.pending[core]
+	if p.records == 0 {
+		return nil
+	}
+	if err := bw.writeBlock(uint32(core), p.records, p.buf); err != nil {
+		return err
+	}
+	bw.frames = append(bw.frames, frame{
+		offset:      bw.offset - int64(blockHdr2+len(p.buf)),
+		core:        uint32(core),
+		records:     p.records,
+		startRecord: p.startRecord,
+	})
+	p.buf = p.buf[:0]
+	p.records = 0
+	return nil
+}
+
+func (bw *BlockWriter) writeBlock(core, records uint32, payload []byte) error {
+	var hdr [blockHdr2]byte
+	binary.LittleEndian.PutUint32(hdr[0:], core)
+	binary.LittleEndian.PutUint32(hdr[4:], records)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(payload))
+	if _, err := bw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.w.Write(payload); err != nil {
+		return err
+	}
+	bw.offset += int64(blockHdr2 + len(payload))
+	return nil
+}
+
+// Close flushes every pending block, writes the frame index and footer,
+// and fails if fewer records were appended than declared.
+func (bw *BlockWriter) Close() error {
+	if bw.closed {
+		return nil
+	}
+	if bw.written != bw.declared {
+		return fmt.Errorf("trace: wrote %d of %d declared records", bw.written, bw.declared)
+	}
+	for core := range bw.pending {
+		if err := bw.flush(core); err != nil {
+			return err
+		}
+	}
+	bw.closed = true
+	indexOffset := bw.offset
+	bw.frameBuf = bw.frameBuf[:0]
+	for _, f := range bw.frames {
+		var fr [frameLen2]byte
+		binary.LittleEndian.PutUint64(fr[0:], uint64(f.offset))
+		binary.LittleEndian.PutUint32(fr[8:], f.core)
+		binary.LittleEndian.PutUint32(fr[12:], f.records)
+		binary.LittleEndian.PutUint64(fr[16:], uint64(f.startRecord))
+		bw.frameBuf = append(bw.frameBuf, fr[:]...)
+	}
+	if err := bw.writeBlock(indexCore, uint32(len(bw.frames)), bw.frameBuf); err != nil {
+		return err
+	}
+	var foot [footerLen2]byte
+	binary.LittleEndian.PutUint64(foot[0:], uint64(indexOffset))
+	binary.LittleEndian.PutUint32(foot[8:], magic2)
+	binary.LittleEndian.PutUint32(foot[12:], version2)
+	if _, err := bw.w.Write(foot[:]); err != nil {
+		return err
+	}
+	return bw.w.Flush()
+}
+
+// WriteSet serializes a Set in the v2 format. blockTarget <= 0 selects
+// DefaultBlockTarget.
+func WriteSet(w io.Writer, set *Set, blockTarget int) error {
+	bw, err := NewBlockWriter(w, len(set.Cores), blockTarget, set.Records())
+	if err != nil {
+		return err
+	}
+	for core, p := range set.Cores {
+		for i := int64(0); i < p.Len(); i++ {
+			if err := bw.Append(core, p.At(i)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Close()
+}
+
+// HeaderV2 describes a v2 trace.
+type HeaderV2 struct {
+	Cores       int
+	BlockTarget int
+	Records     int64
+}
+
+// BlockReader decodes a v2 trace sequentially — block at a time, bounded
+// memory — without needing the frame index (blocks are self-delimiting).
+type BlockReader struct {
+	r       *bufio.Reader
+	hdr     HeaderV2
+	payload []byte
+	recs    []Record
+	done    bool
+}
+
+// NewBlockReader opens a v2 trace for sequential block iteration.
+func NewBlockReader(r io.Reader) (*BlockReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerLen2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading v2 header: %w", truncated(err))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic2 {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version2 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	cores := binary.LittleEndian.Uint32(hdr[8:])
+	if cores < 1 || cores > maxCores2 {
+		return nil, fmt.Errorf("trace: core count %d out of range", cores)
+	}
+	return &BlockReader{
+		r: br,
+		hdr: HeaderV2{
+			Cores:       int(cores),
+			BlockTarget: int(binary.LittleEndian.Uint32(hdr[12:])),
+			Records:     int64(binary.LittleEndian.Uint64(hdr[16:])),
+		},
+	}, nil
+}
+
+// Header returns the trace header.
+func (br *BlockReader) Header() HeaderV2 { return br.hdr }
+
+// NextBlock decodes the next data block, verifying its checksum. The
+// returned records share a buffer reused across calls. io.EOF marks the
+// clean end of data (the index block was reached).
+func (br *BlockReader) NextBlock() (core int, recs []Record, err error) {
+	if br.done {
+		return 0, nil, io.EOF
+	}
+	var hdr [blockHdr2]byte
+	if _, err := io.ReadFull(br.r, hdr[:]); err != nil {
+		return 0, nil, truncated(err)
+	}
+	c := binary.LittleEndian.Uint32(hdr[0:])
+	records := binary.LittleEndian.Uint32(hdr[4:])
+	payloadLen := binary.LittleEndian.Uint32(hdr[8:])
+	sum := binary.LittleEndian.Uint32(hdr[12:])
+	if payloadLen > maxBlockPayload {
+		return 0, nil, fmt.Errorf("trace: block payload %d exceeds limit", payloadLen)
+	}
+	if cap(br.payload) < int(payloadLen) {
+		br.payload = make([]byte, payloadLen)
+	}
+	br.payload = br.payload[:payloadLen]
+	if _, err := io.ReadFull(br.r, br.payload); err != nil {
+		return 0, nil, truncated(err)
+	}
+	if crc32.ChecksumIEEE(br.payload) != sum {
+		return 0, nil, ErrChecksum
+	}
+	if c == indexCore {
+		// The index block: end of data for sequential consumers.
+		br.done = true
+		return 0, nil, io.EOF
+	}
+	if int(c) >= br.hdr.Cores {
+		return 0, nil, fmt.Errorf("trace: block core %d out of range [0,%d)", c, br.hdr.Cores)
+	}
+	br.recs = br.recs[:0]
+	pos, prevRow := 0, uint32(0)
+	for i := uint32(0); i < records; i++ {
+		var rec Record
+		rec, pos, prevRow, err = decodeRecord(br.payload, pos, prevRow)
+		if err != nil {
+			return 0, nil, err
+		}
+		br.recs = append(br.recs, rec)
+	}
+	if pos != len(br.payload) {
+		return 0, nil, fmt.Errorf("trace: block has %d trailing bytes", len(br.payload)-pos)
+	}
+	return int(c), br.recs, nil
+}
+
+// ReadSet decodes a whole v2 trace into a Set, verifying every block
+// checksum and the declared record count.
+func ReadSet(r io.Reader) (*Set, error) {
+	br, err := NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	set := &Set{Cores: make([]*Packed, br.hdr.Cores)}
+	for i := range set.Cores {
+		set.Cores[i] = &Packed{}
+	}
+	for {
+		core, recs, err := br.NextBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			set.Cores[core].Append(rec)
+		}
+	}
+	if got := set.Records(); got != br.hdr.Records {
+		return nil, fmt.Errorf("trace: decoded %d of %d declared records", got, br.hdr.Records)
+	}
+	return set, nil
+}
+
+// parseFrames decodes and validates a frame-index payload against the
+// file size. Frames must point at in-bounds block headers.
+func parseFrames(payload []byte, count uint32, fileSize int64) ([]frame, error) {
+	if int64(len(payload)) != int64(count)*frameLen2 {
+		return nil, fmt.Errorf("trace: frame index holds %d bytes for %d frames", len(payload), count)
+	}
+	frames := make([]frame, count)
+	for i := range frames {
+		off := i * frameLen2
+		frames[i] = frame{
+			offset:      int64(binary.LittleEndian.Uint64(payload[off:])),
+			core:        binary.LittleEndian.Uint32(payload[off+8:]),
+			records:     binary.LittleEndian.Uint32(payload[off+12:]),
+			startRecord: int64(binary.LittleEndian.Uint64(payload[off+16:])),
+		}
+		if frames[i].offset < headerLen2 || frames[i].offset+blockHdr2 > fileSize {
+			return nil, fmt.Errorf("trace: frame %d offset %d out of bounds", i, frames[i].offset)
+		}
+	}
+	return frames, nil
+}

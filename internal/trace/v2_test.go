@@ -1,0 +1,372 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/workload"
+)
+
+// genRecords synthesizes n records of a real workload stream (gcc on
+// core 0) so the encoding is exercised by the distribution it will
+// actually carry.
+func genRecords(t testing.TB, n int64, seed uint64) []Record {
+	t.Helper()
+	spec, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("gcc spec missing")
+	}
+	gen := workload.NewGenerator(spec, workload.Region{Geom: dram.Baseline()}, 0, seed, workload.Params{})
+	s := gen.Stream(n, seed)
+	recs := make([]Record, 0, n)
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, Record{Row: req.Row, Write: req.Write, GapInstr: req.GapInstr})
+	}
+	return recs
+}
+
+// buildSet packs per-core record slices into a Set.
+func buildSet(recs ...[]Record) *Set {
+	set := &Set{}
+	for _, rs := range recs {
+		p := &Packed{}
+		for _, r := range rs {
+			p.Append(r)
+		}
+		set.Cores = append(set.Cores, p)
+	}
+	return set
+}
+
+func drain(t *testing.T, s cpu.Stream) []Record {
+	t.Helper()
+	var recs []Record
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, Record{Row: req.Row, Write: req.Write, GapInstr: req.GapInstr})
+	}
+	return recs
+}
+
+func sameRecords(t *testing.T, got, want []Record, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: record %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestPackedReplayMatchesGenerator(t *testing.T) {
+	want := genRecords(t, 50_000, 42)
+	p := PackStream(NewSliceStream(want), 0)
+	if p.Len() != int64(len(want)) {
+		t.Fatalf("packed %d records, want %d", p.Len(), len(want))
+	}
+	sameRecords(t, drain(t, p.Stream()), want, "packed replay")
+	// Cursors are independent: a second replay sees the same records.
+	sameRecords(t, drain(t, p.Stream()), want, "second packed replay")
+}
+
+func TestPackedGapOverflow(t *testing.T) {
+	recs := []Record{
+		{Row: 5, GapInstr: 100},
+		{Row: 9, Write: true, GapInstr: math.MaxInt64 >> 2},
+		{Row: 2, GapInstr: 0},
+	}
+	p := &Packed{}
+	for _, r := range recs {
+		p.Append(r)
+	}
+	sameRecords(t, drain(t, p.Stream()), recs, "overflow replay")
+}
+
+func TestV2RoundTripMultiCore(t *testing.T) {
+	core0 := genRecords(t, 30_000, 1)
+	core1 := genRecords(t, 7, 2) // short core: exercises a final partial block
+	core2 := []Record{}          // empty core: zero blocks
+	set := buildSet(core0, core1, core2)
+
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set, 4096); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("v2: %d records in %d bytes (%.2f bytes/record)",
+		set.Records(), buf.Len(), float64(buf.Len())/float64(set.Records()))
+
+	got, err := ReadSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cores) != 3 {
+		t.Fatalf("decoded %d cores, want 3", len(got.Cores))
+	}
+	sameRecords(t, drain(t, got.Cores[0].Stream()), core0, "core0")
+	sameRecords(t, drain(t, got.Cores[1].Stream()), core1, "core1")
+	if got.Cores[2].Len() != 0 {
+		t.Fatalf("core2 decoded %d records, want 0", got.Cores[2].Len())
+	}
+}
+
+func TestV2CompressionRatio(t *testing.T) {
+	set := buildSet(genRecords(t, 100_000, 7))
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set, 0); err != nil {
+		t.Fatal(err)
+	}
+	perRec := float64(buf.Len()) / float64(set.Records())
+	if perRec > 6 {
+		t.Fatalf("v2 encoding costs %.2f bytes/record, want <= 6", perRec)
+	}
+}
+
+func TestV2MappedReplay(t *testing.T) {
+	core0 := genRecords(t, 40_000, 3)
+	core1 := genRecords(t, 12_345, 4)
+	set := buildSet(core0, core1)
+
+	path := filepath.Join(t.TempDir(), "multi.trace")
+	if err := WriteSetFile(path, set, 1000); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if h := m.Header(); h.Cores != 2 || h.Records != int64(len(core0)+len(core1)) {
+		t.Fatalf("header %+v", h)
+	}
+	s0, s1 := m.Stream(0), m.Stream(1)
+	sameRecords(t, drain(t, s0), core0, "mapped core0")
+	sameRecords(t, drain(t, s1), core1, "mapped core1")
+	if s0.Err() != nil || s1.Err() != nil {
+		t.Fatalf("stream errors: %v / %v", s0.Err(), s1.Err())
+	}
+
+	// Pack promotes the file to the in-memory tier losslessly.
+	packed, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, drain(t, packed.Cores[0].Stream()), core0, "promoted core0")
+}
+
+func TestV2BlockWriterCountEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, 1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Append(0, Record{Row: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("Close accepted 1 of 2 declared records")
+	}
+	if err := bw.Append(0, Record{Row: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Append(0, Record{Row: 3}); err == nil {
+		t.Fatal("Append accepted more than the declared records")
+	}
+}
+
+func TestV2CorruptBlockChecksum(t *testing.T) {
+	set := buildSet(genRecords(t, 10_000, 5))
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set, 1000); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one payload byte inside the first data block.
+	data[headerLen2+blockHdr2+10] ^= 0x40
+
+	if _, err := ReadSet(bytes.NewReader(data)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("sequential read of corrupt block: %v, want ErrChecksum", err)
+	}
+
+	// The mapped reader validates lazily: open succeeds (the frame index
+	// is intact), replay surfaces the checksum error at block entry.
+	path := filepath.Join(t.TempDir(), "corrupt.trace")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s := m.Stream(0)
+	if _, ok := s.Next(); ok {
+		t.Fatal("replay of corrupt block yielded a record")
+	}
+	if !errors.Is(s.Err(), ErrChecksum) {
+		t.Fatalf("replay error %v, want ErrChecksum", s.Err())
+	}
+}
+
+func TestV2TruncatedIndex(t *testing.T) {
+	set := buildSet(genRecords(t, 10_000, 6))
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set, 1000); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	for _, cut := range []int{footerLen2, footerLen2 + frameLen2, len(data) - headerLen2 - 1} {
+		trunc := data[:len(data)-cut]
+		path := filepath.Join(t.TempDir(), "trunc.trace")
+		if err := os.WriteFile(path, trunc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenFile(path); err == nil {
+			t.Fatalf("OpenFile accepted a trace truncated by %d bytes", cut)
+		}
+	}
+}
+
+func TestV2ZeroRecordTrace(t *testing.T) {
+	set := buildSet([]Record{}, []Record{})
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Records() != 0 || len(got.Cores) != 2 {
+		t.Fatalf("decoded %d records / %d cores, want 0 / 2", got.Records(), len(got.Cores))
+	}
+
+	path := filepath.Join(t.TempDir(), "empty.trace")
+	if err := WriteSetFile(path, set, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, ok := m.Stream(0).Next(); ok {
+		t.Fatal("empty trace yielded a record")
+	}
+}
+
+func TestV2RejectsV1AndGarbage(t *testing.T) {
+	// A v1 trace must be rejected by the v2 readers (and vice versa).
+	var v1 bytes.Buffer
+	if _, err := Capture(&v1, NewSliceStream(genRecords(t, 100, 8)), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBlockReader(bytes.NewReader(v1.Bytes())); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("v2 reader on v1 bytes: %v, want ErrBadMagic", err)
+	}
+
+	var v2 bytes.Buffer
+	if err := WriteSet(&v2, buildSet(genRecords(t, 100, 9)), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(bytes.NewReader(v2.Bytes())); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("v1 reader on v2 bytes: %v, want ErrBadMagic", err)
+	}
+
+	if _, err := NewBlockReader(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("v2 reader accepted garbage")
+	}
+}
+
+func TestV2BlockReaderSequential(t *testing.T) {
+	core0 := genRecords(t, 5_000, 10)
+	core1 := genRecords(t, 2_500, 11)
+	set := buildSet(core0, core1)
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set, 512); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int][]Record{}
+	blocks := 0
+	for {
+		core, recs, err := br.NextBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[core] = append(got[core], recs...)
+		blocks++
+	}
+	if want := 10 + 5; blocks != want {
+		t.Fatalf("decoded %d blocks, want %d", blocks, want)
+	}
+	sameRecords(t, got[0], core0, "sequential core0")
+	sameRecords(t, got[1], core1, "sequential core1")
+}
+
+func TestCopyV1ToV2(t *testing.T) {
+	recs := genRecords(t, 20_000, 12)
+	var v1 bytes.Buffer
+	if _, err := Capture(&v1, NewSliceStream(recs), 0); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewReader(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := CopyV1ToV2(&v2, src, 1000); err != nil {
+		t.Fatal(err)
+	}
+	set, err := ReadSet(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Cores) != 1 {
+		t.Fatalf("converted %d cores, want 1", len(set.Cores))
+	}
+	sameRecords(t, drain(t, set.Cores[0].Stream()), recs, "converted")
+}
+
+// TestMappedFooterDeclaredCountMismatch pins the index-vs-header cross
+// check: a header declaring more records than the index covers is a
+// truncation symptom and must be rejected at open.
+func TestMappedFooterDeclaredCountMismatch(t *testing.T) {
+	set := buildSet(genRecords(t, 1_000, 13))
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set, 0); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint64(data[16:], 2_000) // inflate declared count
+	path := filepath.Join(t.TempDir(), "mismatch.trace")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Fatal("OpenFile accepted an index/header record-count mismatch")
+	}
+}
